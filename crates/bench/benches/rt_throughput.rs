@@ -1,0 +1,43 @@
+//! E7: wall-clock throughput on real threads — call streaming vs
+//! synchronous RPC with injected latency. Few samples (each run includes
+//! genuine milliseconds of injected latency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opcsp_core::Value;
+use opcsp_rt::{RtConfig, RtWorld};
+use opcsp_workloads::servers::Server;
+use opcsp_workloads::streaming::PutLineClient;
+use std::time::Duration;
+
+fn run_once(n: u32, optimism: bool, latency_ms: u64) -> opcsp_rt::RtResult {
+    let cfg = RtConfig {
+        optimism,
+        latency: Duration::from_millis(latency_ms),
+        fork_timeout: Duration::from_secs(2),
+        run_timeout: Duration::from_secs(20),
+        grace: Duration::from_millis(4 * latency_ms.max(1)),
+        ..RtConfig::default()
+    };
+    let mut w = RtWorld::new(cfg);
+    w.add_process(PutLineClient::new(n), true);
+    w.add_process(Server::new("S", 0).with_reply(|_| Value::Bool(true)), false);
+    let r = w.run();
+    assert!(!r.timed_out);
+    r
+}
+
+fn bench_rt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_rt_wall_clock");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    for mode in [true, false] {
+        let name = if mode { "streaming" } else { "rpc" };
+        g.bench_with_input(BenchmarkId::new(name, 8), &mode, |b, &mode| {
+            b.iter(|| run_once(8, mode, 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rt);
+criterion_main!(benches);

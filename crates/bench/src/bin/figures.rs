@@ -1,0 +1,57 @@
+//! Regenerate the paper's figures and the experiment tables.
+//!
+//! Usage:
+//!   figures             — everything
+//!   figures fig3 e1 t1  — selected items
+//!
+//! Items: fig1..fig7, e1, e2, e3, e4, e5, e6, e8, e9, e10, chain, t1.
+
+use opcsp_bench::experiments as ex;
+
+type FigureFn = fn() -> String;
+type TableFn = fn() -> opcsp_bench::Table;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    let figures: &[(&str, FigureFn)] = &[
+        ("fig1", ex::fig1),
+        ("fig2", ex::fig2),
+        ("fig3", ex::fig3),
+        ("fig4", ex::fig4),
+        ("fig5", ex::fig5),
+        ("fig6", ex::fig6),
+        ("fig7", ex::fig7),
+    ];
+    for (name, f) in figures {
+        if want(name) {
+            println!("{}", f());
+        }
+    }
+    let tables: &[(&str, TableFn)] = &[
+        ("e1", ex::e1_latency_sweep),
+        ("e2", ex::e2_n_sweep),
+        ("e3", ex::e3_abort_sweep),
+        ("e4", ex::e4_retry_limit),
+        ("e5", ex::e5_delivery_ablation),
+        ("e6", ex::e6_timewarp),
+        ("e8", ex::e8_guard_compaction),
+        ("e9", ex::e9_control_dissemination),
+        ("e10", ex::e10_checkpoint_policy),
+        ("chain", ex::chain_depth),
+        ("t1", ex::t1_equivalence),
+    ];
+    for (name, f) in tables {
+        if want(name) {
+            let t = f();
+            if json {
+                println!("{}", t.to_json());
+            } else {
+                println!("{t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,680 @@
+//! The experiment harness: one function per figure/experiment from
+//! DESIGN.md's index. Each returns a [`Table`] (or rendered text for the
+//! time-line figures) — the `figures` binary prints them; EXPERIMENTS.md
+//! records them; tests assert on their shapes.
+
+use crate::table::{ratio, Table};
+use opcsp_core::{CoreConfig, ProcessId};
+use opcsp_lang::{parse_program, program_to_string, System};
+use opcsp_sim::{check_equivalence, SimResult};
+use opcsp_timewarp::{run_two_clients, Cancellation, TwoClientOpts};
+use opcsp_workloads::chain::{run_chain, ChainOpts};
+use opcsp_workloads::contention::{run_contention, ContentionOpts};
+use opcsp_workloads::streaming::{run_streaming, run_tally, StreamingOpts, TallyOpts};
+use opcsp_workloads::two_clients::{run_fig6, run_fig7};
+use opcsp_workloads::update_write::{
+    fig3_latency, fig4_latency, run_update_write, UpdateWriteOpts, X, Y, Z,
+};
+use std::collections::BTreeSet;
+
+/// Figure 1: the source program and the transformation's output.
+pub fn fig1() -> String {
+    let src = r#"
+        process X {
+            parallelize guess ok = true {
+                ok = call Y({item: 7, value: 42}) : "C1";   // S1: Update
+            } then {
+                if ok {
+                    r = call Z("file-data") : "C3";          // S2: Write
+                }
+            }
+        }
+        process Y {
+            while true { receive req; down = call Z(req) : "C2"; reply down; }
+        }
+        process Z {
+            while true { receive req; compute 1; reply true; }
+        }
+    "#;
+    let p = parse_program(src).expect("figure 1 parses");
+    let sys = System::compile(&p).expect("figure 1 transforms");
+    let mut out = String::new();
+    out.push_str("## Figure 1 — the Update/Write program and its transformation\n\n");
+    out.push_str("Transformed program (fork/join inserted by the compiler pass):\n\n```\n");
+    out.push_str(&program_to_string(&sys.transformed.program));
+    out.push_str("```\n\nFork sites:\n");
+    for s in &sys.transformed.sites {
+        out.push_str(&format!(
+            "- {} fork@{}: passed variables {:?}, copy needed: {}\n",
+            s.proc, s.site, s.passed, s.copy_needed
+        ));
+    }
+    out
+}
+
+fn figure_run(title: &str, r: &SimResult, procs: &[ProcessId]) -> String {
+    let mut out = format!("## {title}\n\n```\n");
+    out.push_str(&r.trace.render_timeline(procs));
+    out.push_str("```\n");
+    out.push_str(&format!(
+        "\ncompletion={}  forks={} commits={} aborts={} (value={}, time={}) rollbacks={} orphans={}\n",
+        r.completion,
+        r.stats().forks,
+        r.stats().commits,
+        r.stats().aborts,
+        r.stats().value_faults,
+        r.stats().time_faults,
+        r.stats().rollbacks,
+        r.stats().orphans_discarded,
+    ));
+    out
+}
+
+/// Figure 2: no call streaming (pessimistic).
+pub fn fig2() -> String {
+    let r = run_update_write(UpdateWriteOpts {
+        optimism: false,
+        latency: fig4_latency(50),
+        ..UpdateWriteOpts::default()
+    });
+    figure_run("Figure 2 — no call streaming (sequential)", &r, &[X, Y, Z])
+}
+
+/// Figure 3: successful optimistic call streaming.
+pub fn fig3() -> String {
+    let r = run_update_write(UpdateWriteOpts {
+        latency: fig3_latency(50),
+        ..UpdateWriteOpts::default()
+    });
+    figure_run(
+        "Figure 3 — successful optimistic call streaming",
+        &r,
+        &[X, Y, Z],
+    )
+}
+
+/// Figure 4: time fault (C3 races C2 to Z) and recovery.
+pub fn fig4() -> String {
+    let r = run_update_write(UpdateWriteOpts {
+        latency: fig4_latency(50),
+        ..UpdateWriteOpts::default()
+    });
+    figure_run(
+        "Figure 4 — aborted call streaming (time fault)",
+        &r,
+        &[X, Y, Z],
+    )
+}
+
+/// Figure 5: value fault (Update fails), rollback and re-execution.
+pub fn fig5() -> String {
+    let r = run_update_write(UpdateWriteOpts {
+        update_succeeds: false,
+        latency: fig3_latency(50),
+        ..UpdateWriteOpts::default()
+    });
+    figure_run(
+        "Figure 5 — abort and sequential re-execution (value fault)",
+        &r,
+        &[X, Y, Z],
+    )
+}
+
+/// Figure 6: two optimistic processes, PRECEDENCE chain commits.
+pub fn fig6() -> String {
+    use opcsp_workloads::two_clients::{W, X as FX, Y as FY, Z as FZ};
+    let r = run_fig6(true, 40);
+    figure_run(
+        "Figure 6 — successful parallelization of two processes",
+        &r,
+        &[FX, FY, FZ, W],
+    )
+}
+
+/// Figure 7: the cross-dependency cycle, mutual abort and recovery.
+pub fn fig7() -> String {
+    use opcsp_workloads::two_clients::{W, X as FX, Y as FY, Z as FZ};
+    let r = run_fig7(true, 40);
+    figure_run(
+        "Figure 7 — aborted parallelization (cycle z1 → x1 → z1)",
+        &r,
+        &[FX, FY, FZ, W],
+    )
+}
+
+/// E1: completion time vs one-way latency, streaming vs sequential.
+pub fn e1_latency_sweep() -> Table {
+    let mut t = Table::new(
+        "E1 — call streaming vs RPC, one-way latency sweep (N=32 calls)",
+        &[
+            "latency d",
+            "sequential",
+            "streaming",
+            "fork-after-send",
+            "speedup",
+        ],
+    );
+    for d in [1u64, 4, 16, 64, 256, 1024] {
+        let o = run_streaming(StreamingOpts {
+            n: 32,
+            latency: d,
+            ..Default::default()
+        });
+        let fas = run_streaming(StreamingOpts {
+            n: 32,
+            latency: d,
+            fork_after_send: true,
+            ..Default::default()
+        });
+        let p = run_streaming(StreamingOpts {
+            n: 32,
+            latency: d,
+            optimism: false,
+            ..Default::default()
+        });
+        assert!(o.unresolved.is_empty() && fas.unresolved.is_empty());
+        t.row(vec![
+            d.to_string(),
+            p.completion.to_string(),
+            o.completion.to_string(),
+            fas.completion.to_string(),
+            ratio(p.completion, o.completion),
+        ]);
+    }
+    t.note("Paper §1: streaming is 'extremely valuable when bandwidth is high but round-trip delays are long' — speedup grows with d toward N.");
+    t
+}
+
+/// E2: completion time vs number of calls at fixed latency.
+pub fn e2_n_sweep() -> Table {
+    let mut t = Table::new(
+        "E2 — pipelining N calls (d=100)",
+        &[
+            "N",
+            "sequential",
+            "streaming",
+            "speedup",
+            "seq/call",
+            "stream/call",
+        ],
+    );
+    for n in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let o = run_streaming(StreamingOpts {
+            n,
+            latency: 100,
+            ..Default::default()
+        });
+        let p = run_streaming(StreamingOpts {
+            n,
+            latency: 100,
+            optimism: false,
+            ..Default::default()
+        });
+        assert!(o.unresolved.is_empty());
+        t.row(vec![
+            n.to_string(),
+            p.completion.to_string(),
+            o.completion.to_string(),
+            ratio(p.completion, o.completion),
+            (p.completion / n as u64).to_string(),
+            (o.completion / n as u64).to_string(),
+        ]);
+    }
+    t.note("Sequential ≈ 2·N·d; streaming ≈ 2d + N·ε — the per-call cost collapses. (Streaming completion includes the final COMMIT broadcast reaching the server, +d; at N=1 that overhead exceeds the saving, exactly the paper's 'performance gain provided the overhead is small relative to what is overlapped'.)");
+    t
+}
+
+/// E3: the optimism trade-off — completion vs per-call failure rate.
+pub fn e3_abort_sweep() -> Table {
+    let mut t = Table::new(
+        "E3 — abort-probability sweep (N=32, d=50): optimistic vs pessimistic",
+        &[
+            "p(fail)",
+            "pessimistic",
+            "optimistic",
+            "speedup",
+            "aborts",
+            "rollbacks",
+        ],
+    );
+    for p_mille in [0u32, 50, 100, 200, 400, 600, 800, 1000] {
+        let o = run_tally(TallyOpts {
+            n: 32,
+            latency: 50,
+            p_per_mille: p_mille,
+            ..Default::default()
+        });
+        let p = run_tally(TallyOpts {
+            n: 32,
+            latency: 50,
+            p_per_mille: p_mille,
+            optimism: false,
+            ..Default::default()
+        });
+        assert!(o.unresolved.is_empty(), "p={p_mille}: {:?}", o.unresolved);
+        t.row(vec![
+            format!("{:.2}", p_mille as f64 / 1000.0),
+            p.completion.to_string(),
+            o.completion.to_string(),
+            ratio(p.completion, o.completion),
+            o.stats().aborts.to_string(),
+            o.stats().rollbacks.to_string(),
+        ]);
+    }
+    t.note("§1: 'provided we usually guess right, we still obtain a performance improvement'; past the crossover the rollback cost wins.");
+    t
+}
+
+/// E4: the liveness limit L — an adversarial always-failing stream.
+pub fn e4_retry_limit() -> Table {
+    let mut t = Table::new(
+        "E4 — retry limit L under an always-failing guess (N=16, d=50)",
+        &["L", "completion", "wasted forks", "aborts", "data msgs"],
+    );
+    for l in [0u32, 1, 2, 4, 8] {
+        let o = run_tally(TallyOpts {
+            n: 16,
+            latency: 50,
+            p_per_mille: 1000, // every line fails: every guess is wrong
+            core: CoreConfig {
+                retry_limit: l,
+                ..CoreConfig::default()
+            },
+            ..Default::default()
+        });
+        assert!(o.unresolved.is_empty());
+        t.row(vec![
+            l.to_string(),
+            o.completion.to_string(),
+            o.stats().forks.to_string(),
+            o.stats().aborts.to_string(),
+            o.stats().data_messages.to_string(),
+        ]);
+    }
+    t.note("§3.3: L bounds how often the same fork site re-runs optimistically after aborting. With every guess wrong, completion equals the sequential time regardless (each line must wait its round trip); what L controls is the *wasted* speculative work — forks ≈ Σ_{i<L+1}(N−i) until the budget is spent, then pure pessimistic execution. Termination is guaranteed for every L.");
+    t
+}
+
+/// E5: the §4.2.3 delivery optimization (min new dependencies) on/off.
+///
+/// The scenario engineers genuine pool contention: a warm-up client W
+/// keeps Z busy long enough that both the speculative C3{x1} (arriving
+/// first) and the clean C2 (arriving second) are queued when Z frees up.
+/// With the optimization, Z picks C2 — the Figure 3 ordering, no fault;
+/// in FIFO order it consumes C3 first — the Figure 4 time fault.
+pub fn e5_delivery_ablation() -> Table {
+    use opcsp_sim::{Effect, FnBehavior, Resume, SimBuilder, SimConfig};
+    use opcsp_workloads::servers::{ForwardServer, Server};
+    use opcsp_workloads::update_write::UpdateWriteClient;
+
+    let mut t = Table::new(
+        "E5 — message-delivery choice ablation (busy server, contended pool)",
+        &[
+            "min-deps delivery",
+            "completion",
+            "aborts",
+            "time faults",
+            "rollbacks",
+            "orphans",
+        ],
+    );
+    for on in [true, false] {
+        let core = CoreConfig {
+            deliver_min_deps: on,
+            ..CoreConfig::default()
+        };
+        let latency = opcsp_sim::LatencyModel::per_link(50)
+            .link(X, Z, 100) // C3 arrives ~101, while Z is busy
+            .link(ProcessId(3), Z, 1) // warm-up call arrives immediately
+            .build();
+        let cfg = SimConfig {
+            core,
+            latency,
+            ..SimConfig::default()
+        };
+        let mut b = SimBuilder::new(cfg);
+        b.add_process(UpdateWriteClient); // X
+        b.add_process(ForwardServer::new("Y(db)", Z, "C2")); // Y
+        b.add_process(Server::new("Z(fs)", 120)); // Z: busy until ~122
+        b.add_process(FnBehavior::new("W(warmup)", 0u8, |pc, resume| {
+            match (*pc, resume) {
+                (0, Resume::Start) => {
+                    *pc = 1;
+                    Effect::call(Z, opcsp_core::Value::Int(0), "Cw")
+                }
+                (1, Resume::Msg(_)) => Effect::Done,
+                (_, r) => panic!("W: unexpected resume {r:?}"),
+            }
+        }));
+        let r = b.build().run();
+        assert!(r.unresolved.is_empty());
+        t.row(vec![
+            on.to_string(),
+            r.completion.to_string(),
+            r.stats().aborts.to_string(),
+            r.stats().time_faults.to_string(),
+            r.stats().rollbacks.to_string(),
+            r.stats().orphans_discarded.to_string(),
+        ]);
+    }
+    t.note("§4.2.3: 'the one for which |Newguards| is smallest should be chosen. This minimizes the chance that receiving the message will lead to an aborted computation.' The FIFO row pays a time fault, two rollbacks and the re-execution round trips.");
+    t
+}
+
+/// E6: partial-order optimism vs Time Warp total order, skew sweep.
+pub fn e6_timewarp() -> Table {
+    let mut t = Table::new(
+        "E6 — two independent clients, one server: OPCSP vs Time Warp under skew",
+        &[
+            "skew",
+            "TW rollbacks",
+            "TW undone",
+            "TW anti-msgs",
+            "TW anti (lazy)",
+            "TW completion",
+            "OPCSP rollbacks",
+            "OPCSP completion",
+        ],
+    );
+    for skew in [0u64, 50, 150, 300, 600] {
+        let tw = run_two_clients(TwoClientOpts {
+            n_per_client: 8,
+            transit: 20,
+            skew,
+            ..TwoClientOpts::default()
+        });
+        let tw_lazy = run_two_clients(TwoClientOpts {
+            n_per_client: 8,
+            transit: 20,
+            skew,
+            cancellation: Cancellation::Lazy,
+            ..TwoClientOpts::default()
+        });
+        let ours = run_contention(ContentionOpts {
+            n_per_client: 8,
+            latency: 20,
+            skew,
+            ..ContentionOpts::default()
+        });
+        assert!(ours.unresolved.is_empty());
+        t.row(vec![
+            skew.to_string(),
+            tw.stats.rollbacks.to_string(),
+            tw.stats.undone.to_string(),
+            tw.stats.anti_messages.to_string(),
+            tw_lazy.stats.anti_messages.to_string(),
+            tw.completion.to_string(),
+            ours.stats().rollbacks.to_string(),
+            ours.completion.to_string(),
+        ]);
+    }
+    t.note("§5: Time Warp's total order makes one client's stragglers roll back the other's causally unrelated work; the partial order never does (OPCSP rollbacks = 0 at every skew). Lazy cancellation rescues Time Warp here — the replayed server regenerates identical replies, so zero anti-messages — but the rollback/reprocessing work itself remains.");
+    t.note("Completion columns are not directly comparable: the TW clients fire pre-timestamped events and never await replies, while the OPCSP clients make guarded calls and await the commit wave. The comparable quantity is wasted/redone work (columns 2–4 vs 6).");
+    t
+}
+
+/// E8: guard compaction (per-process latest guess, §4.1.2).
+pub fn e8_guard_compaction() -> Table {
+    let mut t = Table::new(
+        "E8 — guard tag size: full sets vs incarnation-compacted (streaming)",
+        &[
+            "N",
+            "data msgs",
+            "full guard bytes",
+            "compact bytes",
+            "reduction",
+        ],
+    );
+    for n in [4u32, 16, 64, 256] {
+        let r = run_streaming(StreamingOpts {
+            n,
+            latency: 50,
+            ..Default::default()
+        });
+        let mut full = 0usize;
+        let mut compact = 0usize;
+        for ev in r.trace.iter() {
+            if let opcsp_sim::TraceEvent::Send { guard, .. } = ev {
+                let m = opcsp_core::measure(guard);
+                full += m.full_bytes;
+                compact += m.compact_bytes;
+            }
+        }
+        t.row(vec![
+            n.to_string(),
+            r.stats().data_messages.to_string(),
+            full.to_string(),
+            compact.to_string(),
+            format!("{:.1}x", full as f64 / compact.max(1) as f64),
+        ]);
+    }
+    t.note("§4.1.2: 'only the most recent guess from each process needs to be maintained in the commit guard set' — full tags grow O(N²) total, compacted stay O(N).");
+    t
+}
+
+/// E9: control-message dissemination — broadcast vs targeted (§4.2.5).
+pub fn e9_control_dissemination() -> Table {
+    let mut t = Table::new(
+        "E9 — control dissemination: broadcast vs targeted (§4.2.5)",
+        &[
+            "workload",
+            "mode",
+            "ctrl msgs",
+            "data msgs",
+            "aborts",
+            "completion",
+        ],
+    );
+    let chain_base = ChainOpts {
+        depth: 4,
+        n: 6,
+        ..ChainOpts::default()
+    };
+    let stream_base = StreamingOpts {
+        n: 32,
+        latency: 50,
+        ..Default::default()
+    };
+    for targeted in [false, true] {
+        let mode = if targeted { "targeted" } else { "broadcast" };
+        let core = CoreConfig {
+            targeted_control: targeted,
+            ..CoreConfig::default()
+        };
+        let c = run_chain(ChainOpts {
+            core: core.clone(),
+            ..chain_base.clone()
+        });
+        assert!(c.unresolved.is_empty());
+        t.row(vec![
+            "chain d=4 n=6".into(),
+            mode.into(),
+            c.stats().control_messages.to_string(),
+            c.stats().data_messages.to_string(),
+            c.stats().aborts.to_string(),
+            c.completion.to_string(),
+        ]);
+        let s = run_streaming(StreamingOpts {
+            core: core.clone(),
+            ..stream_base.clone()
+        });
+        assert!(s.unresolved.is_empty());
+        t.row(vec![
+            "stream n=32".into(),
+            mode.into(),
+            s.stats().control_messages.to_string(),
+            s.stats().data_messages.to_string(),
+            s.stats().aborts.to_string(),
+            s.completion.to_string(),
+        ]);
+    }
+    t.note("§4.2.5: broadcast 'should work well in a local-area network where the threads are created relatively infrequently. The latter [targeted] would be more appropriate ... when the number of threads created is large.' Targeted relays reach exactly the dependency tree.");
+    t
+}
+
+/// E10: checkpoint policy (§3.1) — snapshot every interval (Time Warp
+/// style) vs sparse snapshots restored by deterministic replay
+/// (Optimistic Recovery style).
+pub fn e10_checkpoint_policy() -> Table {
+    let mut t = Table::new(
+        "E10 — checkpoint policy: snapshot frequency vs replay cost (faulty stream, N=24)",
+        &[
+            "snapshot every",
+            "snapshots",
+            "replayed steps",
+            "rollbacks",
+            "completion",
+        ],
+    );
+    for k in [1u32, 2, 4, 8, 16] {
+        let r = run_streaming(StreamingOpts {
+            n: 24,
+            latency: 50,
+            fail_lines: BTreeSet::from([12]),
+            checkpoint_every: k,
+            ..Default::default()
+        });
+        assert!(r.unresolved.is_empty());
+        t.row(vec![
+            k.to_string(),
+            r.stats().checkpoints_taken.to_string(),
+            r.stats().replayed_steps.to_string(),
+            r.stats().rollbacks.to_string(),
+            r.completion.to_string(),
+        ]);
+    }
+    t.note("§3.1: 'a process may take less frequent checkpoints, and log input messages, restoring the state by resuming from the checkpoint and replaying ... a performance tuning decision [that] does not affect the correctness' — completion and outcomes are identical at every K; only the snapshot/replay balance moves.");
+    t
+}
+
+/// Bonus: chain-depth sweep (optimistic forwarding pipelines).
+pub fn chain_depth() -> Table {
+    let mut t = Table::new(
+        "Chain — depth-k optimistic forwarding (n=8 items, d=40)",
+        &[
+            "depth",
+            "sequential",
+            "optimistic",
+            "speedup",
+            "forks",
+            "aborts",
+        ],
+    );
+    for depth in [1u32, 2, 4, 6, 8] {
+        let o = run_chain(ChainOpts {
+            depth,
+            n: 8,
+            latency: 40,
+            ..Default::default()
+        });
+        let p = run_chain(ChainOpts {
+            depth,
+            n: 8,
+            latency: 40,
+            optimism: false,
+            ..Default::default()
+        });
+        assert!(o.unresolved.is_empty());
+        t.row(vec![
+            depth.to_string(),
+            p.completion.to_string(),
+            o.completion.to_string(),
+            ratio(p.completion, o.completion),
+            o.stats().forks.to_string(),
+            o.stats().aborts.to_string(),
+        ]);
+    }
+    t.note("Every hop acknowledges speculatively; absolute savings grow with depth while full-resolution speedup is commit-wave bound (→2x).");
+    t
+}
+
+/// T1 summary: Theorem-1 equivalence spot checks across the scenarios.
+pub fn t1_equivalence() -> Table {
+    let mut t = Table::new(
+        "T1 — Theorem 1 spot checks (committed traces vs pessimistic)",
+        &["scenario", "faults injected", "equivalent"],
+    );
+    let cases: Vec<(&str, SimResult, SimResult)> = vec![
+        (
+            "fig3 streaming ok",
+            run_update_write(UpdateWriteOpts::default()),
+            run_update_write(UpdateWriteOpts {
+                optimism: false,
+                ..Default::default()
+            }),
+        ),
+        (
+            "fig4 time fault",
+            run_update_write(UpdateWriteOpts {
+                latency: fig4_latency(50),
+                ..Default::default()
+            }),
+            run_update_write(UpdateWriteOpts {
+                latency: fig4_latency(50),
+                optimism: false,
+                ..Default::default()
+            }),
+        ),
+        (
+            "streaming value faults",
+            run_streaming(StreamingOpts {
+                fail_lines: BTreeSet::from([3, 7]),
+                ..Default::default()
+            }),
+            run_streaming(StreamingOpts {
+                fail_lines: BTreeSet::from([3, 7]),
+                optimism: false,
+                ..Default::default()
+            }),
+        ),
+        (
+            "chain terminal failure",
+            run_chain(ChainOpts {
+                fail_items: BTreeSet::from([1]),
+                ..Default::default()
+            }),
+            run_chain(ChainOpts {
+                fail_items: BTreeSet::from([1]),
+                optimism: false,
+                ..Default::default()
+            }),
+        ),
+    ];
+    for (name, opt, pess) in &cases {
+        let rep = check_equivalence(pess, opt);
+        let faults = opt.stats().value_faults + opt.stats().time_faults;
+        t.row(vec![
+            name.to_string(),
+            faults.to_string(),
+            if rep.equivalent {
+                "yes".into()
+            } else {
+                format!("NO: {:?}", rep.mismatches)
+            },
+        ]);
+    }
+    t.note("Full randomized checking lives in tests/theorem1.rs (hundreds of seeded systems).");
+    t
+}
+
+/// Every experiment table, in DESIGN.md index order.
+pub fn all_tables() -> Vec<Table> {
+    vec![
+        e1_latency_sweep(),
+        e2_n_sweep(),
+        e3_abort_sweep(),
+        e4_retry_limit(),
+        e5_delivery_ablation(),
+        e6_timewarp(),
+        e8_guard_compaction(),
+        e9_control_dissemination(),
+        e10_checkpoint_policy(),
+        chain_depth(),
+        t1_equivalence(),
+    ]
+}
+
+/// All rendered figures.
+pub fn all_figures() -> Vec<String> {
+    vec![fig1(), fig2(), fig3(), fig4(), fig5(), fig6(), fig7()]
+}

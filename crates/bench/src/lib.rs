@@ -1,0 +1,12 @@
+//! # opcsp-bench — the experiment harness
+//!
+//! `cargo run -p opcsp-bench --bin figures` regenerates every figure and
+//! experiment table from DESIGN.md's index; `cargo bench` runs the
+//! Criterion suites (simulation-engine throughput, protocol micro-ops,
+//! Time Warp comparison, real-thread wall-clock).
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

@@ -1,0 +1,124 @@
+//! Markdown-ish tables for the experiment harness output (the rows
+//! recorded in EXPERIMENTS.md come straight from here).
+
+use std::fmt;
+
+/// A titled table of string cells.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Table {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Cell accessor for tests: (row, column-name).
+    pub fn cell(&self, row: usize, col: &str) -> Option<&str> {
+        let c = self.columns.iter().position(|x| x == col)?;
+        self.rows.get(row)?.get(c).map(|s| s.as_str())
+    }
+
+    /// Parse a numeric cell.
+    pub fn cell_f64(&self, row: usize, col: &str) -> Option<f64> {
+        self.cell(row, col)?.parse().ok()
+    }
+}
+
+impl Table {
+    /// JSON encoding for downstream tooling (plotting, CI comparisons).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}\n", self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        write!(f, "|")?;
+        for (c, w) in self.columns.iter().zip(&widths) {
+            write!(f, " {c:<w$} |")?;
+        }
+        writeln!(f)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<p$}|", "", p = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "|")?;
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "\n> {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a speedup ratio.
+pub fn ratio(num: u64, den: u64) -> String {
+    format!("{:.2}", num as f64 / den.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["a", "long-column"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("| a   | long-column |"));
+        assert!(s.contains("| 333 | 4           |"));
+        assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    fn cell_accessors() {
+        let mut t = Table::new("x", &["n", "time"]);
+        t.row(vec!["8".into(), "12.5".into()]);
+        assert_eq!(t.cell(0, "n"), Some("8"));
+        assert_eq!(t.cell_f64(0, "time"), Some(12.5));
+        assert_eq!(t.cell(0, "missing"), None);
+        assert_eq!(t.cell(9, "n"), None);
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(300, 100), "3.00");
+        assert_eq!(ratio(1, 0), "1.00");
+    }
+}

@@ -1,0 +1,309 @@
+//! The Commit Dependency Graph (§4.1.4, §4.2.8).
+//!
+//! For each thread we maintain a DAG over guess identifiers. PRECEDENCE
+//! control messages add edges: `PRECEDENCE(x_n, Guard)` asserts that every
+//! `g ∈ Guard` precedes `x_n`, so edges `g → x_n` are added. If an edge
+//! insertion creates a cycle, a *time fault* has been detected and every
+//! guess on the cycle must abort (§4.2.5: "If an edge added to the CDG
+//! creates a cycle, then a time fault has been detected. All threads in the
+//! cycle are aborted.").
+
+use crate::ids::GuessId;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Commit dependency graph: nodes are guesses, an edge `a → b` means "guess
+/// `a` (logically) precedes guess `b`", i.e. `b` cannot commit before `a`.
+#[derive(Debug, Clone, Default)]
+pub struct Cdg {
+    /// Forward adjacency: edges[a] = set of b with a → b.
+    edges: BTreeMap<GuessId, BTreeSet<GuessId>>,
+    /// All nodes ever mentioned (sources or targets).
+    nodes: BTreeSet<GuessId>,
+}
+
+/// Result of inserting an edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeOutcome {
+    /// Edge added (or already present); graph remains acyclic.
+    Acyclic,
+    /// The edge closed one or more cycles; the returned set contains every
+    /// guess on some cycle through the new edge (all must be aborted).
+    Cycle(BTreeSet<GuessId>),
+}
+
+impl Cdg {
+    pub fn new() -> Self {
+        Cdg::default()
+    }
+
+    pub fn contains_node(&self, g: GuessId) -> bool {
+        self.nodes.contains(&g)
+    }
+
+    pub fn add_node(&mut self, g: GuessId) {
+        self.nodes.insert(g);
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+
+    pub fn has_edge(&self, from: GuessId, to: GuessId) -> bool {
+        self.edges
+            .get(&from)
+            .map(|s| s.contains(&to))
+            .unwrap_or(false)
+    }
+
+    /// Insert the edge `from → to`, detecting cycles.
+    ///
+    /// A self-loop `g → g` (the Figure 4 local time fault, `{x1} → {x1}`)
+    /// is reported as a cycle containing just `g`.
+    pub fn add_edge(&mut self, from: GuessId, to: GuessId) -> EdgeOutcome {
+        self.nodes.insert(from);
+        self.nodes.insert(to);
+        if from == to {
+            return EdgeOutcome::Cycle(BTreeSet::from([from]));
+        }
+        // A cycle through the new edge exists iff `from` is reachable from
+        // `to` in the existing graph. Collect all nodes on such paths.
+        if let Some(on_cycle) = self.nodes_on_paths(to, from) {
+            let mut cyc = on_cycle;
+            cyc.insert(from);
+            cyc.insert(to);
+            // Record the edge anyway: callers abort every guess on the cycle
+            // and then remove them, which erases it.
+            self.edges.entry(from).or_default().insert(to);
+            return EdgeOutcome::Cycle(cyc);
+        }
+        self.edges.entry(from).or_default().insert(to);
+        EdgeOutcome::Acyclic
+    }
+
+    /// All nodes lying on some path `src → ... → dst` (inclusive), or `None`
+    /// if `dst` is unreachable from `src`.
+    fn nodes_on_paths(&self, src: GuessId, dst: GuessId) -> Option<BTreeSet<GuessId>> {
+        // Forward reachability from src.
+        let fwd = self.reachable_from(src);
+        if !fwd.contains(&dst) {
+            return None;
+        }
+        // Backward reachability from dst, intersected with fwd.
+        let back = self.reverse_reachable_from(dst);
+        Some(fwd.intersection(&back).copied().collect())
+    }
+
+    fn reachable_from(&self, src: GuessId) -> BTreeSet<GuessId> {
+        let mut seen = BTreeSet::from([src]);
+        let mut queue = VecDeque::from([src]);
+        while let Some(n) = queue.pop_front() {
+            if let Some(succs) = self.edges.get(&n) {
+                for &s in succs {
+                    if seen.insert(s) {
+                        queue.push_back(s);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    fn reverse_reachable_from(&self, dst: GuessId) -> BTreeSet<GuessId> {
+        let mut seen = BTreeSet::from([dst]);
+        loop {
+            let mut grew = false;
+            for (&a, succs) in &self.edges {
+                if !seen.contains(&a) && succs.iter().any(|b| seen.contains(b)) {
+                    seen.insert(a);
+                    grew = true;
+                }
+            }
+            if !grew {
+                return seen;
+            }
+        }
+    }
+
+    /// Predecessors of `g` currently in the graph.
+    pub fn predecessors(&self, g: GuessId) -> Vec<GuessId> {
+        self.edges
+            .iter()
+            .filter(|(_, succs)| succs.contains(&g))
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// Successors of `g` currently in the graph.
+    pub fn successors(&self, g: GuessId) -> Vec<GuessId> {
+        self.edges
+            .get(&g)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Remove a resolved guess (committed or aborted) and its edges
+    /// (§4.2.6: "x_n is removed from the CDG. Any predecessors of x_n are
+    /// also removed").
+    pub fn remove(&mut self, g: GuessId) {
+        self.nodes.remove(&g);
+        self.edges.remove(&g);
+        for succs in self.edges.values_mut() {
+            succs.remove(&g);
+        }
+        self.edges.retain(|_, succs| !succs.is_empty());
+    }
+
+    /// Is `g` a *root*: present, with no unresolved predecessors? A guess
+    /// whose predecessors have all committed can itself commit when its own
+    /// guard empties.
+    pub fn is_root(&self, g: GuessId) -> bool {
+        self.nodes.contains(&g) && self.predecessors(g).is_empty()
+    }
+
+    /// Iterate nodes in deterministic order.
+    pub fn nodes(&self) -> impl Iterator<Item = GuessId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Exhaustive acyclicity check (test/diagnostic use; the incremental
+    /// `add_edge` maintains this invariant in normal operation).
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm.
+        let mut indeg: BTreeMap<GuessId, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
+        for succs in self.edges.values() {
+            for &b in succs {
+                *indeg.entry(b).or_insert(0) += 1;
+            }
+        }
+        let mut queue: VecDeque<GuessId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(n) = queue.pop_front() {
+            visited += 1;
+            if let Some(succs) = self.edges.get(&n) {
+                for &b in succs {
+                    let d = indeg.get_mut(&b).unwrap();
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push_back(b);
+                    }
+                }
+            }
+        }
+        visited == indeg.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+
+    fn g(p: u32, n: u32) -> GuessId {
+        GuessId::first(ProcessId(p), n)
+    }
+
+    #[test]
+    fn simple_edge_is_acyclic() {
+        let mut c = Cdg::new();
+        assert_eq!(c.add_edge(g(0, 1), g(1, 1)), EdgeOutcome::Acyclic);
+        assert!(c.has_edge(g(0, 1), g(1, 1)));
+        assert!(c.is_acyclic());
+    }
+
+    #[test]
+    fn self_loop_is_figure4_time_fault() {
+        // Figure 4: {x1} → {x1} — the left thread's guard contains its own
+        // guess, a cycle of length one.
+        let mut c = Cdg::new();
+        match c.add_edge(g(0, 1), g(0, 1)) {
+            EdgeOutcome::Cycle(s) => assert_eq!(s, BTreeSet::from([g(0, 1)])),
+            _ => panic!("self loop must be a cycle"),
+        }
+    }
+
+    #[test]
+    fn two_node_cycle_is_figure7() {
+        // Figure 7: z1 → x1 and then x1 → z1 — both processes discover the
+        // cycle and abort both guesses.
+        let mut c = Cdg::new();
+        assert_eq!(c.add_edge(g(2, 1), g(0, 1)), EdgeOutcome::Acyclic);
+        match c.add_edge(g(0, 1), g(2, 1)) {
+            EdgeOutcome::Cycle(s) => {
+                assert!(s.contains(&g(0, 1)));
+                assert!(s.contains(&g(2, 1)));
+                assert_eq!(s.len(), 2);
+            }
+            _ => panic!("expected cycle"),
+        }
+    }
+
+    #[test]
+    fn cycle_reports_only_nodes_on_cycle() {
+        // a → b → c → d, plus e → b; closing d → b must report {b, c, d}
+        // and not a or e.
+        let (a, b, c_, d, e) = (g(0, 1), g(1, 1), g(2, 1), g(3, 1), g(4, 1));
+        let mut c = Cdg::new();
+        c.add_edge(a, b);
+        c.add_edge(b, c_);
+        c.add_edge(c_, d);
+        c.add_edge(e, b);
+        match c.add_edge(d, b) {
+            EdgeOutcome::Cycle(s) => {
+                assert_eq!(s, BTreeSet::from([b, c_, d]));
+            }
+            _ => panic!("expected cycle"),
+        }
+    }
+
+    #[test]
+    fn remove_erases_node_and_edges() {
+        let mut c = Cdg::new();
+        c.add_edge(g(0, 1), g(1, 1));
+        c.add_edge(g(1, 1), g(2, 1));
+        c.remove(g(1, 1));
+        assert!(!c.contains_node(g(1, 1)));
+        assert!(!c.has_edge(g(0, 1), g(1, 1)));
+        assert!(!c.has_edge(g(1, 1), g(2, 1)));
+        assert_eq!(c.edge_count(), 0);
+    }
+
+    #[test]
+    fn predecessors_and_successors() {
+        let mut c = Cdg::new();
+        c.add_edge(g(0, 1), g(1, 1));
+        c.add_edge(g(2, 1), g(1, 1));
+        assert_eq!(c.predecessors(g(1, 1)), vec![g(0, 1), g(2, 1)]);
+        assert_eq!(c.successors(g(0, 1)), vec![g(1, 1)]);
+        assert!(c.is_root(g(0, 1)));
+        assert!(!c.is_root(g(1, 1)));
+    }
+
+    #[test]
+    fn duplicate_edges_are_idempotent() {
+        let mut c = Cdg::new();
+        c.add_edge(g(0, 1), g(1, 1));
+        assert_eq!(c.add_edge(g(0, 1), g(1, 1)), EdgeOutcome::Acyclic);
+        assert_eq!(c.edge_count(), 1);
+    }
+
+    #[test]
+    fn long_cycle_detected() {
+        let mut c = Cdg::new();
+        let nodes: Vec<GuessId> = (0..10).map(|i| g(i, 1)).collect();
+        for w in nodes.windows(2) {
+            assert_eq!(c.add_edge(w[0], w[1]), EdgeOutcome::Acyclic);
+        }
+        match c.add_edge(nodes[9], nodes[0]) {
+            EdgeOutcome::Cycle(s) => assert_eq!(s.len(), 10),
+            _ => panic!("expected 10-cycle"),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Guard-set compaction (§4.1.2).
+//!
+//! "A thread may depend upon many guesses by the same process, particularly
+//! if an optimization like call streaming is applied repeatedly. ... only
+//! the most recent guess from each process needs to be maintained in the
+//! commit guard set" — provided incarnation start tables are available to
+//! re-expand the implied set on receipt.
+//!
+//! The engines run on *full* guard sets (ground truth); this module provides
+//! the compact wire encoding and its expansion, plus size accounting for the
+//! E8 ablation. Property tests (in `tests/` and below) check that
+//! `expand(compact(G))` reproduces exactly the live guesses of `G`.
+
+use crate::guard::Guard;
+use crate::history::History;
+use crate::ids::{GuessId, ProcessId};
+use std::collections::BTreeMap;
+
+/// A compacted guard: at most one guess per process — the maximum
+/// (incarnation, index) pair, which implies all earlier live guesses of that
+/// process.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompactGuard {
+    per_process: BTreeMap<ProcessId, GuessId>,
+}
+
+impl CompactGuard {
+    /// Compact a full guard set: keep only the latest guess per process.
+    pub fn compress(full: &Guard) -> CompactGuard {
+        let mut per_process: BTreeMap<ProcessId, GuessId> = BTreeMap::new();
+        for g in full.iter() {
+            per_process
+                .entry(g.process)
+                .and_modify(|cur| {
+                    if (g.incarnation, g.index) > (cur.incarnation, cur.index) {
+                        *cur = g;
+                    }
+                })
+                .or_insert(g);
+        }
+        CompactGuard { per_process }
+    }
+
+    /// Expand back to a full guard using the receiver's commit `History`.
+    ///
+    /// Exactness requires the history to have observed the sender's
+    /// incarnation starts (receipt of `ABORT(x_{i,n})` records that
+    /// incarnation `i+1` starts at `n`); without that knowledge, the
+    /// incarnation of indices below a later-incarnation retained guess is
+    /// ambiguous. This is why the engines run on full guard sets and the
+    /// compact form is evaluated analytically (E8) — a production wire
+    /// format would ship incarnation tables alongside, as §4.1.5 assumes.
+    ///
+    /// Mechanics:
+    /// for each retained guess `x_{i,n}`, include every guess of process `x`
+    /// that logically precedes it (same-process fork order, excluding
+    /// implicitly aborted incarnation segments) and is not known committed
+    /// or aborted.
+    ///
+    /// The receiver cannot know of guesses it has never heard about, so the
+    /// expansion enumerates indices `0..n`; guesses known committed are
+    /// omitted (they are no longer guard members by definition).
+    pub fn expand(&self, history: &History) -> Guard {
+        let mut out = Guard::empty();
+        for (&p, &latest) in &self.per_process {
+            out.insert(latest);
+            for idx in 0..latest.index {
+                // Determine which incarnation idx belongs to in latest's
+                // past: the highest incarnation ≤ latest.incarnation whose
+                // start is ≤ idx. Without a table, incarnation 0.
+                let inc = match history.incarnation_table(p) {
+                    Some(t) => {
+                        let mut chosen = crate::ids::Incarnation(0);
+                        for i in 0..=latest.incarnation.0 {
+                            if let Some(s) = t.start_of(crate::ids::Incarnation(i)) {
+                                if s <= idx {
+                                    chosen = crate::ids::Incarnation(i);
+                                }
+                            }
+                        }
+                        chosen
+                    }
+                    None => crate::ids::Incarnation(0),
+                };
+                let g = GuessId {
+                    process: p,
+                    incarnation: inc,
+                    index: idx,
+                };
+                if !history.is_committed(g) && !history.is_aborted(g) {
+                    out.insert(g);
+                }
+            }
+        }
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.per_process.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.per_process.is_empty()
+    }
+
+    /// Wire size of the compact encoding (cf. `Guard::wire_size`).
+    pub fn wire_size(&self) -> usize {
+        2 + self.per_process.len() * 12
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = GuessId> + '_ {
+        self.per_process.values().copied()
+    }
+}
+
+/// Size comparison record for the E8 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardSizes {
+    pub full_entries: usize,
+    pub full_bytes: usize,
+    pub compact_entries: usize,
+    pub compact_bytes: usize,
+}
+
+/// Measure both encodings of a guard.
+pub fn measure(full: &Guard) -> GuardSizes {
+    let c = CompactGuard::compress(full);
+    GuardSizes {
+        full_entries: full.len(),
+        full_bytes: full.wire_size(),
+        compact_entries: c.len(),
+        compact_bytes: c.wire_size(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Incarnation, ProcessId};
+
+    fn g(p: u32, n: u32) -> GuessId {
+        GuessId::first(ProcessId(p), n)
+    }
+
+    #[test]
+    fn compress_keeps_latest_per_process() {
+        let full = Guard::from_iter([g(0, 1), g(0, 2), g(0, 5), g(1, 3)]);
+        let c = CompactGuard::compress(&full);
+        assert_eq!(c.len(), 2);
+        let kept: Vec<_> = c.iter().collect();
+        assert_eq!(kept, vec![g(0, 5), g(1, 3)]);
+    }
+
+    #[test]
+    fn expand_reconstructs_contiguous_streaming_guards() {
+        // Call streaming produces guards {x1, x2, ..., xn}; compaction keeps
+        // x_n; expansion (with an empty history) reproduces {x0..xn}.
+        let full = Guard::from_iter((0..6).map(|i| g(0, i)));
+        let c = CompactGuard::compress(&full);
+        let h = History::new();
+        assert_eq!(c.expand(&h), full);
+    }
+
+    #[test]
+    fn expand_omits_committed_prefix() {
+        let full = Guard::from_iter([g(0, 3), g(0, 4)]);
+        let c = CompactGuard::compress(&full);
+        let mut h = History::new();
+        h.record_commit(g(0, 0));
+        h.record_commit(g(0, 1));
+        h.record_commit(g(0, 2));
+        assert_eq!(c.expand(&h), full);
+    }
+
+    #[test]
+    fn expand_respects_incarnation_boundaries() {
+        // x aborted fork 2 and restarted: incarnation 1 starts at index 2.
+        // Latest guess x_{1,4}: its past is x_{0,0}, x_{0,1}, x_{1,2},
+        // x_{1,3} — not x_{0,2}/x_{0,3}.
+        let mut h = History::new();
+        h.record_abort(GuessId::first(ProcessId(0), 2)); // inc 1 starts at 2
+        let latest = GuessId::new(ProcessId(0), Incarnation(1), 4);
+        let c = CompactGuard::compress(&Guard::single(latest));
+        let expanded = c.expand(&h);
+        assert!(expanded.contains(GuessId::first(ProcessId(0), 0)));
+        assert!(expanded.contains(GuessId::first(ProcessId(0), 1)));
+        assert!(expanded.contains(GuessId::new(ProcessId(0), Incarnation(1), 2)));
+        assert!(expanded.contains(GuessId::new(ProcessId(0), Incarnation(1), 3)));
+        assert!(expanded.contains(latest));
+        assert!(!expanded.contains(GuessId::first(ProcessId(0), 2)));
+        assert_eq!(expanded.len(), 5);
+    }
+
+    #[test]
+    fn measure_shows_compaction_win_for_streaming() {
+        let full = Guard::from_iter((0..32).map(|i| g(0, i)));
+        let m = measure(&full);
+        assert_eq!(m.full_entries, 32);
+        assert_eq!(m.compact_entries, 1);
+        assert!(m.compact_bytes < m.full_bytes / 10);
+    }
+
+    #[test]
+    fn empty_guard_compacts_to_empty() {
+        let c = CompactGuard::compress(&Guard::empty());
+        assert!(c.is_empty());
+        assert!(c.expand(&History::new()).is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Commit guard sets (§3.1, §4.1.2).
+//!
+//! Every optimistic computation carries the set of *uncommitted guesses* it
+//! transitively depends on. The guard set is appended to every outgoing
+//! message; a receiver unions the incoming guard into its own. A computation
+//! with an empty guard set is *committed* — its validity no longer depends
+//! on any guess.
+
+use crate::ids::GuessId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A commit guard set: the uncommitted guesses a computation depends upon.
+///
+/// Backed by a `BTreeSet` so iteration order is deterministic, which the
+/// simulator relies on for reproducible traces.
+///
+/// ```
+/// use opcsp_core::{Guard, GuessId, ProcessId};
+///
+/// let x1 = GuessId::first(ProcessId(0), 1);
+/// let mut guard = Guard::empty();
+/// assert!(guard.is_empty());          // committed
+/// guard.insert(x1);                   // now optimistic, guarded by x1
+/// assert_eq!(guard.to_string(), "{x1}");
+/// guard.remove(x1);                   // x1 committed
+/// assert!(guard.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct Guard {
+    set: BTreeSet<GuessId>,
+}
+
+impl Guard {
+    /// The empty guard set: a committed computation.
+    pub fn empty() -> Guard {
+        Guard::default()
+    }
+
+    /// A guard set containing exactly one guess.
+    pub fn single(g: GuessId) -> Guard {
+        let mut set = BTreeSet::new();
+        set.insert(g);
+        Guard { set }
+    }
+
+    /// True iff the computation carrying this guard is committed (§3.1:
+    /// "If the commit guard set of a computation is empty then the commit
+    /// guard predicate is vacuously true").
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    pub fn contains(&self, g: GuessId) -> bool {
+        self.set.contains(&g)
+    }
+
+    /// Add a guess this computation now depends on. Returns true if it was
+    /// not already present (i.e. a *new* dependency, which starts a new
+    /// interval per §4.1.1).
+    pub fn insert(&mut self, g: GuessId) -> bool {
+        self.set.insert(g)
+    }
+
+    /// Remove a guess whose predicate committed (§3.1: "When a predicate
+    /// p_i in a computation's commit guard set commits, pi is removed from
+    /// the set"). Returns true if it was present.
+    pub fn remove(&mut self, g: GuessId) -> bool {
+        self.set.remove(&g)
+    }
+
+    /// Union another guard into this one (message receipt, fork: "the Guard
+    /// is the union of the creating thread's Guard and the guess x_n").
+    pub fn union_with(&mut self, other: &Guard) {
+        self.set.extend(other.set.iter().copied());
+    }
+
+    /// The guesses present in `incoming` but not in `self` — the
+    /// `Newguards` of §4.2.3's message-arrival processing.
+    pub fn new_guards(&self, incoming: &Guard) -> Vec<GuessId> {
+        incoming.set.difference(&self.set).copied().collect()
+    }
+
+    /// Count of guesses `incoming` would add — used by the delivery
+    /// optimization ("the one for which |Newguards| is smallest").
+    pub fn new_guard_count(&self, incoming: &Guard) -> usize {
+        incoming.set.difference(&self.set).count()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = GuessId> + '_ {
+        self.set.iter().copied()
+    }
+
+    /// Retain only guesses satisfying the predicate; returns removed ones.
+    pub fn retain(&mut self, mut keep: impl FnMut(GuessId) -> bool) -> Vec<GuessId> {
+        let removed: Vec<GuessId> = self.set.iter().copied().filter(|g| !keep(*g)).collect();
+        for g in &removed {
+            self.set.remove(g);
+        }
+        removed
+    }
+
+    /// Approximate wire size of a guard tag in bytes (process id + incarnation
+    /// + index per guess), for the E8 message-overhead ablation.
+    pub fn wire_size(&self) -> usize {
+        2 + self.set.len() * 12
+    }
+}
+
+impl IntoIterator for Guard {
+    type Item = GuessId;
+    type IntoIter = std::collections::btree_set::IntoIter<GuessId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.set.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Guard {
+    type Item = &'a GuessId;
+    type IntoIter = std::collections::btree_set::Iter<'a, GuessId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.set.iter()
+    }
+}
+
+impl FromIterator<GuessId> for Guard {
+    fn from_iter<T: IntoIterator<Item = GuessId>>(iter: T) -> Self {
+        Guard {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, g) in self.set.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{g}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+
+    fn g(p: u32, n: u32) -> GuessId {
+        GuessId::first(ProcessId(p), n)
+    }
+
+    #[test]
+    fn empty_guard_means_committed() {
+        assert!(Guard::empty().is_empty());
+        assert!(!Guard::single(g(0, 1)).is_empty());
+    }
+
+    #[test]
+    fn insert_reports_new_dependency() {
+        let mut gd = Guard::empty();
+        assert!(gd.insert(g(0, 1)));
+        assert!(!gd.insert(g(0, 1)));
+        assert!(gd.contains(g(0, 1)));
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let mut a = Guard::single(g(0, 1));
+        let b = Guard::from_iter([g(1, 2), g(0, 1)]);
+        a.union_with(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn new_guards_is_set_difference() {
+        let mine = Guard::single(g(0, 1));
+        let incoming = Guard::from_iter([g(0, 1), g(2, 3), g(1, 9)]);
+        let new = mine.new_guards(&incoming);
+        assert_eq!(new, vec![g(1, 9), g(2, 3)]);
+        assert_eq!(mine.new_guard_count(&incoming), 2);
+    }
+
+    #[test]
+    fn remove_on_commit() {
+        let mut gd = Guard::from_iter([g(0, 1), g(1, 1)]);
+        assert!(gd.remove(g(0, 1)));
+        assert!(!gd.remove(g(0, 1)));
+        assert_eq!(gd.len(), 1);
+    }
+
+    #[test]
+    fn retain_returns_removed() {
+        let mut gd = Guard::from_iter([g(0, 1), g(1, 1), g(2, 1)]);
+        let removed = gd.retain(|x| x.process != ProcessId(1));
+        assert_eq!(removed, vec![g(1, 1)]);
+        assert_eq!(gd.len(), 2);
+    }
+
+    #[test]
+    fn display_matches_paper_figures() {
+        let gd = Guard::from_iter([g(0, 1), g(2, 1)]);
+        assert_eq!(gd.to_string(), "{x1,z1}");
+        assert_eq!(Guard::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let gd = Guard::from_iter([g(2, 1), g(0, 5), g(0, 1)]);
+        let order: Vec<_> = gd.iter().collect();
+        assert_eq!(order, vec![g(0, 1), g(0, 5), g(2, 1)]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Commit histories (§4.1.5) and incarnation start tables (§4.1.2).
+//!
+//! Each process maintains commit information about each process it
+//! communicates with: for each guess, whether it has committed, aborted, or
+//! is unknown. The paper suggests a sparse representation because "most
+//! guesses are assumed to commit"; we store explicit entries and treat
+//! missing entries as `Unknown`, with the incarnation start table providing
+//! *implicit aborts* for guesses superseded by a later incarnation.
+
+use crate::ids::{ForkIndex, GuessId, Incarnation, ProcessId};
+use std::collections::HashMap;
+
+/// The resolution state of a guess, from this process's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fate {
+    /// No COMMIT/ABORT/PRECEDENCE information yet (the default).
+    Unknown,
+    /// A COMMIT message for this guess was received (or inferred).
+    Committed,
+    /// An ABORT message for this guess was received (or inferred from a
+    /// later incarnation's start).
+    Aborted,
+}
+
+/// Incarnation start table for a single remote process (§4.1.5).
+///
+/// `starts[i]` is the fork index at which incarnation `i` began. From it we
+/// can decide which guesses of earlier incarnations were implicitly aborted:
+/// if incarnation 2 of `x` begins at index 3, then `x_{1,3}` and later
+/// guesses of incarnation 1 are aborted, while `x_{1,1}`, `x_{1,2}` stand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncarnationTable {
+    /// `starts[i]` = first fork index of incarnation `i`. Incarnation 0
+    /// implicitly starts at index 0 even before any entry is recorded.
+    starts: Vec<ForkIndex>,
+}
+
+impl Default for IncarnationTable {
+    fn default() -> Self {
+        IncarnationTable::new()
+    }
+}
+
+impl IncarnationTable {
+    pub fn new() -> Self {
+        IncarnationTable { starts: vec![0] }
+    }
+
+    /// Highest incarnation we have heard of.
+    pub fn latest(&self) -> Incarnation {
+        Incarnation(self.starts.len().saturating_sub(1) as u32)
+    }
+
+    /// Record that `inc` begins at fork index `start`. Later incarnations
+    /// than any seen so far extend the table; re-recording an existing
+    /// incarnation keeps the smallest start (starts never move forward).
+    pub fn record(&mut self, inc: Incarnation, start: ForkIndex) {
+        let i = inc.0 as usize;
+        while self.starts.len() <= i {
+            // Unknown intermediate incarnations: assume they start no later
+            // than the one we are recording.
+            self.starts.push(start);
+        }
+        if self.starts[i] > start {
+            self.starts[i] = start;
+        }
+    }
+
+    pub fn start_of(&self, inc: Incarnation) -> Option<ForkIndex> {
+        self.starts.get(inc.0 as usize).copied()
+    }
+
+    /// Is the guess *implicitly aborted* because a later incarnation started
+    /// at or before its index? (§4.1.5: "Receipt of C_{2,3} can also be
+    /// taken as an implicit abort of x_{1,3}".)
+    pub fn implicitly_aborted(&self, inc: Incarnation, index: ForkIndex) -> bool {
+        self.starts
+            .iter()
+            .enumerate()
+            .skip(inc.0 as usize + 1)
+            .any(|(_, &s)| s <= index)
+    }
+
+    /// Does `a` logically precede `b` within this process's own fork order?
+    /// Used when expanding compacted guards: `x_{i,m}` precedes `x_{j,n}`
+    /// iff `m < n` and `x_{i,m}` was not aborted before `x_{j,n}` started.
+    pub fn precedes(&self, a: (Incarnation, ForkIndex), b: (Incarnation, ForkIndex)) -> bool {
+        let ((ia, ma), (ib, nb)) = (a, b);
+        if ma >= nb || ia > ib {
+            return false;
+        }
+        if ia == ib {
+            return true;
+        }
+        // a survives into b's past iff no incarnation in (ia, ib] started at
+        // or before a's index.
+        !(ia.0 + 1..=ib.0).any(|i| {
+            self.start_of(Incarnation(i))
+                .map(|s| s <= ma)
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// Commit history across all remote processes.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    fates: HashMap<GuessId, Fate>,
+    incarnations: HashMap<ProcessId, IncarnationTable>,
+}
+
+impl History {
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// The fate of a guess: explicit entry, else implicit abort via the
+    /// incarnation table, else `Unknown`.
+    pub fn fate(&self, g: GuessId) -> Fate {
+        if let Some(f) = self.fates.get(&g) {
+            return *f;
+        }
+        if let Some(t) = self.incarnations.get(&g.process) {
+            if t.implicitly_aborted(g.incarnation, g.index) {
+                return Fate::Aborted;
+            }
+        }
+        Fate::Unknown
+    }
+
+    pub fn is_aborted(&self, g: GuessId) -> bool {
+        self.fate(g) == Fate::Aborted
+    }
+
+    pub fn is_committed(&self, g: GuessId) -> bool {
+        self.fate(g) == Fate::Committed
+    }
+
+    /// Record a COMMIT message (§4.2.6).
+    pub fn record_commit(&mut self, g: GuessId) {
+        self.fates.insert(g, Fate::Committed);
+    }
+
+    /// Record an ABORT message (§4.2.7). Also notes the incarnation bump:
+    /// the owning process restarts `g.index` under `g.incarnation + 1`.
+    pub fn record_abort(&mut self, g: GuessId) {
+        self.fates.insert(g, Fate::Aborted);
+        self.incarnations
+            .entry(g.process)
+            .or_default()
+            .record(Incarnation(g.incarnation.0 + 1), g.index);
+    }
+
+    /// Record a PRECEDENCE message (§4.2.8: "we set `History[z_n]` = unknown").
+    pub fn record_unknown(&mut self, g: GuessId) {
+        self.fates.entry(g).or_insert(Fate::Unknown);
+    }
+
+    /// Note that a message mentioned guess `g`, which implies incarnation
+    /// `g.incarnation` of its process exists and started at or before
+    /// `g.index`.
+    pub fn observe_guess(&mut self, g: GuessId) {
+        if g.incarnation.0 > 0 {
+            self.incarnations
+                .entry(g.process)
+                .or_default()
+                .record(g.incarnation, g.index);
+        }
+    }
+
+    pub fn incarnation_table(&self, p: ProcessId) -> Option<&IncarnationTable> {
+        self.incarnations.get(&p)
+    }
+
+    /// Number of explicit entries (diagnostics / E8 ablation).
+    pub fn explicit_entries(&self) -> usize {
+        self.fates.len()
+    }
+
+    /// Drop explicit entries for committed guesses older than `keep_from`
+    /// per process — fossil collection for long simulations.
+    pub fn compact(&mut self, keep_from: &HashMap<ProcessId, ForkIndex>) {
+        self.fates.retain(|g, f| {
+            if *f != Fate::Committed {
+                return true;
+            }
+            keep_from
+                .get(&g.process)
+                .map(|&k| g.index >= k)
+                .unwrap_or(true)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gid(p: u32, i: u32, n: u32) -> GuessId {
+        GuessId::new(ProcessId(p), Incarnation(i), n)
+    }
+
+    #[test]
+    fn default_fate_is_unknown() {
+        let h = History::new();
+        assert_eq!(h.fate(gid(0, 0, 1)), Fate::Unknown);
+    }
+
+    #[test]
+    fn commit_and_abort_are_recorded() {
+        let mut h = History::new();
+        h.record_commit(gid(0, 0, 1));
+        h.record_abort(gid(1, 0, 2));
+        assert!(h.is_committed(gid(0, 0, 1)));
+        assert!(h.is_aborted(gid(1, 0, 2)));
+    }
+
+    #[test]
+    fn abort_implies_later_same_incarnation_guesses_aborted() {
+        // ABORT(y_{0,2}) means incarnation 1 of y starts at index 2, so
+        // y_{0,3} is implicitly aborted while y_{0,1} is not.
+        let mut h = History::new();
+        h.record_abort(gid(1, 0, 2));
+        assert!(h.is_aborted(gid(1, 0, 3)));
+        assert_eq!(h.fate(gid(1, 0, 1)), Fate::Unknown);
+    }
+
+    #[test]
+    fn paper_example_incarnation_2_starts_at_3() {
+        // §4.1.5: if incarnation 2 of x begins at event 3, then x_{2,4} is
+        // preceded by x_{1,1}, x_{1,2}, x_{2,3} but not x_{1,3}; receipt of
+        // C_{2,3} is an implicit abort of x_{1,3}.
+        let mut t = IncarnationTable::new();
+        t.record(Incarnation(1), 0);
+        t.record(Incarnation(2), 3);
+        assert!(t.precedes((Incarnation(1), 1), (Incarnation(2), 4)));
+        assert!(t.precedes((Incarnation(1), 2), (Incarnation(2), 4)));
+        assert!(t.precedes((Incarnation(2), 3), (Incarnation(2), 4)));
+        assert!(!t.precedes((Incarnation(1), 3), (Incarnation(2), 4)));
+        assert!(t.implicitly_aborted(Incarnation(1), 3));
+        assert!(!t.implicitly_aborted(Incarnation(1), 2));
+    }
+
+    #[test]
+    fn observe_guess_extends_incarnation_table() {
+        let mut h = History::new();
+        h.observe_guess(gid(0, 2, 3));
+        // Incarnation 2 starting at 3 implicitly aborts x_{1,3} and x_{0,5}.
+        assert!(h.is_aborted(gid(0, 1, 3)));
+        assert!(h.is_aborted(gid(0, 0, 5)));
+        assert_eq!(h.fate(gid(0, 1, 2)), Fate::Unknown);
+    }
+
+    #[test]
+    fn precedence_message_marks_unknown_without_clobbering() {
+        let mut h = History::new();
+        h.record_commit(gid(0, 0, 1));
+        h.record_unknown(gid(0, 0, 1));
+        assert!(h.is_committed(gid(0, 0, 1)));
+        h.record_unknown(gid(0, 0, 2));
+        assert_eq!(h.fate(gid(0, 0, 2)), Fate::Unknown);
+    }
+
+    #[test]
+    fn compact_drops_only_old_commits() {
+        let mut h = History::new();
+        h.record_commit(gid(0, 0, 1));
+        h.record_commit(gid(0, 0, 5));
+        h.record_abort(gid(0, 0, 7));
+        let keep: HashMap<ProcessId, ForkIndex> = [(ProcessId(0), 5)].into();
+        h.compact(&keep);
+        assert_eq!(h.fate(gid(0, 0, 1)), Fate::Unknown); // forgotten
+        assert!(h.is_committed(gid(0, 0, 5)));
+        assert!(h.is_aborted(gid(0, 0, 7)));
+    }
+
+    #[test]
+    fn incarnation_table_latest() {
+        let mut t = IncarnationTable::new();
+        assert_eq!(t.latest(), Incarnation(0));
+        t.record(Incarnation(3), 9);
+        assert_eq!(t.latest(), Incarnation(3));
+        assert_eq!(t.start_of(Incarnation(2)), Some(9));
+    }
+}

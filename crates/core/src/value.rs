@@ -1,0 +1,212 @@
+//! A small dynamic value type used for message payloads and interpreter
+//! state across the workspace.
+//!
+//! Values are cheaply clonable (`Arc`-backed aggregates) because the
+//! rollback machinery snapshots whole process states at interval boundaries
+//! (§3.1: "a process may take a state checkpoint at each point prior to
+//! acquiring a new commit guard predicate").
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dynamic value: the payload vocabulary of the whole system.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    #[default]
+    Unit,
+    Bool(bool),
+    Int(i64),
+    Str(Arc<str>),
+    List(Arc<Vec<Value>>),
+    Record(Arc<BTreeMap<String, Value>>),
+}
+
+impl Value {
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Arc::new(items))
+    }
+
+    pub fn record(fields: impl IntoIterator<Item = (String, Value)>) -> Value {
+        Value::Record(Arc::new(fields.into_iter().collect()))
+    }
+
+    /// Truthiness used by the mini-language's `if`/`while` and by verifier
+    /// predicates: only `Bool(true)` is true.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Field access on records; `None` for other variants or missing fields.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Record(r) => r.get(name),
+            _ => None,
+        }
+    }
+
+    /// Approximate serialized size in bytes, used when measuring message
+    /// overheads in the benchmark harness.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Unit => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Str(s) => 4 + s.len(),
+            Value::List(l) => 4 + l.iter().map(Value::wire_size).sum::<usize>(),
+            Value::Record(r) => {
+                4 + r
+                    .iter()
+                    .map(|(k, v)| 4 + k.len() + v.wire_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<()> for Value {
+    fn from(_: ()) -> Self {
+        Value::Unit
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(r) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in r.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_is_strict() {
+        assert!(Value::Bool(true).is_true());
+        assert!(!Value::Bool(false).is_true());
+        assert!(!Value::Int(1).is_true());
+        assert!(!Value::Unit.is_true());
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Value::from(42i64).as_int(), Some(42));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn record_field_access() {
+        let v = Value::record([
+            ("ok".to_string(), Value::Bool(true)),
+            ("n".to_string(), Value::Int(7)),
+        ]);
+        assert_eq!(v.field("n"), Some(&Value::Int(7)));
+        assert_eq!(v.field("missing"), None);
+        assert_eq!(Value::Int(1).field("n"), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let v = Value::list(vec![Value::Int(1), Value::Bool(false)]);
+        assert_eq!(v.to_string(), "[1, false]");
+        assert_eq!(Value::str("a").to_string(), "\"a\"");
+    }
+
+    #[test]
+    fn wire_size_counts_nested_content() {
+        let v = Value::list(vec![Value::Int(1), Value::str("abc")]);
+        assert_eq!(v.wire_size(), 4 + 8 + (4 + 3));
+    }
+
+    #[test]
+    fn clone_of_aggregates_is_shallow() {
+        let big = Value::list((0..1000).map(Value::Int).collect());
+        let c = big.clone();
+        match (&big, &c) {
+            (Value::List(a), Value::List(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Abstract syntax of the mini CSP language.
+//!
+//! The paper's source model (§2) is a system of independent sequential
+//! processes (CSP / Ada / Hermes style) communicating by message passing
+//! and inter-process calls, with a compiler that is "told that it is
+//! desirable to parallelize S1 and S2". The [`Stmt::ParallelizeHint`]
+//! statement is that pragma; the transformation pass
+//! (`crate::transform`) rewrites it into [`Stmt::ForkJoin`], whose
+//! execution by the interpreter drives the optimistic protocol.
+
+use opcsp_core::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A reference to another process, by the name it is bound to at system
+/// assembly time (`SystemBuilder` maps names to `ProcessId`s).
+pub type ProcName = String;
+
+/// A block of statements. `Arc` so interpreter frames can hold cheap
+/// references into the (immutable) program.
+pub type Block = Arc<Vec<Stmt>>;
+
+/// Construct a block.
+pub fn block(stmts: Vec<Stmt>) -> Block {
+    Arc::new(stmts)
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Lit(Value),
+    Var(String),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Record construction: `{a: 1, b: x}`.
+    Record(Vec<(String, Expr)>),
+    /// Field access on a record value.
+    Field(Box<Expr>, String),
+    /// List construction: `[1, 2, x]`.
+    List(Vec<Expr>),
+    /// List indexing: `xs[i]` (0-based; out of range is a runtime error).
+    Index(Box<Expr>, Box<Expr>),
+    /// Length of a list or string: `len(e)`.
+    Len(Box<Expr>),
+}
+
+impl Expr {
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary(op, Box::new(l), Box::new(r))
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x = e;` — introduce or overwrite a variable.
+    Let(String, Expr),
+    /// `x = e;` — assignment (same store semantics as `Let`; kept separate
+    /// for read/write-set reporting and pretty-printing).
+    Assign(String, Expr),
+    /// `x = call Target(e) : "C1";` — synchronous inter-process call.
+    Call {
+        target: ProcName,
+        arg: Expr,
+        result: String,
+        label: String,
+    },
+    /// `send Target(e) : "M1";` — one-way asynchronous send.
+    Send {
+        target: ProcName,
+        arg: Expr,
+        label: String,
+    },
+    /// `receive x;` or `receive x, k;` — block until a (non-return)
+    /// message arrives; binds its payload, and optionally the message
+    /// kind (`"call"` or `"send"`) so servers can decide whether to
+    /// `reply`.
+    Receive {
+        var: String,
+        kind_var: Option<String>,
+    },
+    /// `reply e;` — reply to the call currently being serviced.
+    Reply { value: Expr },
+    /// `output e;` — external observable output (buffered while guarded).
+    Output(Expr),
+    /// `compute e;` — consume `e` units of virtual time.
+    Compute(Expr),
+    /// `if e { ... } else { ... }`.
+    If {
+        cond: Expr,
+        then_: Block,
+        else_: Block,
+    },
+    /// `while e { ... }`.
+    While { cond: Expr, body: Block },
+    /// The programmer/profiler pragma: "it is desirable to parallelize
+    /// S1 and S2", with predictor hints for the passed values
+    /// (`guess ok = true`). Rewritten by `transform` into [`Stmt::ForkJoin`].
+    ParallelizeHint {
+        hints: Vec<(String, Expr)>,
+        s1: Block,
+        s2: Block,
+    },
+    /// The transformed optimistic construct: fork, run `s1` on the left
+    /// thread and `s2` on the right under the guessed values, verify at
+    /// the join (§2, §4.2.1/4.2.4). Produced by the transformation; not
+    /// written by hand.
+    ForkJoin {
+        /// Fork-site id for the retry-limit-L policy.
+        site: u32,
+        /// Passed variables with their predictor expressions (evaluated in
+        /// the fork-point state).
+        guesses: Vec<(String, Expr)>,
+        s1: Block,
+        s2: Block,
+        /// Whether S1 reads a variable S2 overwrites (antidependency,
+        /// §2) — informational: the interpreter always gives the right
+        /// thread its own copy of the store.
+        copy_needed: bool,
+    },
+}
+
+/// A process definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcDef {
+    pub name: String,
+    pub body: Block,
+}
+
+/// A whole program: a system of named processes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub procs: Vec<ProcDef>,
+}
+
+impl Program {
+    pub fn proc(&self, name: &str) -> Option<&ProcDef> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::bin(BinOp::Add, Expr::lit(1i64), Expr::var("x"));
+        match e {
+            Expr::Binary(BinOp::Add, l, r) => {
+                assert_eq!(*l, Expr::Lit(Value::Int(1)));
+                assert_eq!(*r, Expr::Var("x".into()));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn program_lookup_by_name() {
+        let p = Program {
+            procs: vec![ProcDef {
+                name: "X".into(),
+                body: block(vec![]),
+            }],
+        };
+        assert!(p.proc("X").is_some());
+        assert!(p.proc("Y").is_none());
+    }
+
+    #[test]
+    fn binop_display() {
+        assert_eq!(BinOp::Le.to_string(), "<=");
+        assert_eq!(BinOp::And.to_string(), "&&");
+    }
+}

@@ -1,0 +1,218 @@
+//! `opcsp-run` — execute a mini-CSP source file under the optimistic
+//! protocol.
+//!
+//! ```text
+//! opcsp-run program.csp [options]
+//!
+//!   --pessimistic        run sequentially (the baseline semantics)
+//!   --compare            run both modes, check Theorem-1 equivalence
+//!   --latency <d>        one-way network latency in ticks   [default 50]
+//!   --jitter <spread>    add uniform jitter of up to <spread>
+//!   --seed <n>           jitter seed                        [default 1]
+//!   --timeline           print the execution time-line
+//!   --show-transform     print the transformed program and fork sites
+//!   --timeout <t>        fork timeout in ticks              [default 100000]
+//!   --retry-limit <L>    §3.3 liveness limit                [default 3]
+//! ```
+//!
+//! Exit code 1 on parse/transform errors, 2 if `--compare` finds a
+//! Theorem-1 divergence (which would be an engine bug worth reporting).
+
+use opcsp_core::{CoreConfig, ProcessId};
+use opcsp_lang::{parse_program, program_to_string, System};
+use opcsp_sim::{check_equivalence, LatencyModel, SimConfig, SimResult};
+use std::process::ExitCode;
+
+struct Options {
+    file: String,
+    pessimistic: bool,
+    compare: bool,
+    latency: u64,
+    jitter: u64,
+    seed: u64,
+    timeline: bool,
+    show_transform: bool,
+    timeout: u64,
+    retry_limit: u32,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        file: String::new(),
+        pessimistic: false,
+        compare: false,
+        latency: 50,
+        jitter: 0,
+        seed: 1,
+        timeline: false,
+        show_transform: false,
+        timeout: 100_000,
+        retry_limit: 3,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match a.as_str() {
+            "--pessimistic" => opts.pessimistic = true,
+            "--compare" => opts.compare = true,
+            "--timeline" => opts.timeline = true,
+            "--show-transform" => opts.show_transform = true,
+            "--latency" => opts.latency = num("--latency")?,
+            "--jitter" => opts.jitter = num("--jitter")?,
+            "--seed" => opts.seed = num("--seed")?,
+            "--timeout" => opts.timeout = num("--timeout")?,
+            "--retry-limit" => opts.retry_limit = num("--retry-limit")? as u32,
+            "--help" | "-h" => return Err("help".into()),
+            f if !f.starts_with('-') && opts.file.is_empty() => opts.file = f.to_string(),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if opts.file.is_empty() {
+        return Err("no input file".into());
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: opcsp-run <file.csp> [--pessimistic] [--compare] [--latency d] \
+         [--jitter s] [--seed n] [--timeline] [--show-transform] [--timeout t] \
+         [--retry-limit L]"
+    );
+}
+
+fn summarize(label: &str, r: &SimResult) {
+    let s = r.stats();
+    println!(
+        "{label}: completion={} forks={} commits={} aborts={} (value={}, time={}, \
+         timeouts={}) rollbacks={} orphans={} msgs={} ctrl={}",
+        r.completion,
+        s.forks,
+        s.commits,
+        s.aborts,
+        s.value_faults,
+        s.time_faults,
+        s.timeouts,
+        s.rollbacks,
+        s.orphans_discarded,
+        s.data_messages,
+        s.control_messages,
+    );
+    if !r.external.is_empty() {
+        println!("outputs:");
+        for (t, p, v) in &r.external {
+            println!("  [{t:>6}] {p}: {v}");
+        }
+    }
+    if !r.unresolved.is_empty() {
+        println!("WARNING: unresolved guesses: {:?}", r.unresolved);
+    }
+    if r.truncated {
+        println!("WARNING: run truncated by the event cap");
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let src = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let sys = match System::compile(&program) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: transform error: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.show_transform {
+        println!("{}", program_to_string(&sys.transformed.program));
+        for site in &sys.transformed.sites {
+            println!(
+                "// fork site {} in {}: passed {:?}, copy needed: {}",
+                site.site, site.proc, site.passed, site.copy_needed
+            );
+        }
+        println!();
+    }
+
+    let latency = if opts.jitter > 0 {
+        LatencyModel::jitter(opts.latency, opts.jitter, opts.seed)
+    } else {
+        LatencyModel::fixed(opts.latency)
+    };
+    let cfg = |optimism: bool| SimConfig {
+        core: CoreConfig {
+            retry_limit: opts.retry_limit,
+            ..CoreConfig::default()
+        },
+        optimism,
+        latency: latency.clone(),
+        fork_timeout: opts.timeout,
+        ..SimConfig::default()
+    };
+
+    let procs: Vec<ProcessId> = (0..sys.transformed.program.procs.len() as u32)
+        .map(ProcessId)
+        .collect();
+
+    if opts.compare {
+        let pess = sys.run(cfg(false));
+        let opt = sys.run(cfg(true));
+        if opts.timeline {
+            println!("{}", opt.trace.render_timeline(&procs));
+        }
+        summarize("pessimistic", &pess);
+        summarize("optimistic ", &opt);
+        println!(
+            "speedup: {:.2}x",
+            pess.completion as f64 / opt.completion.max(1) as f64
+        );
+        let rep = check_equivalence(&pess, &opt);
+        if rep.equivalent {
+            println!("Theorem 1: committed traces identical ✓");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("Theorem 1 DIVERGENCE (engine bug!): {:#?}", rep.mismatches);
+            ExitCode::from(2)
+        }
+    } else {
+        let r = sys.run(cfg(!opts.pessimistic));
+        if opts.timeline {
+            println!("{}", r.trace.render_timeline(&procs));
+        }
+        summarize(
+            if opts.pessimistic {
+                "pessimistic"
+            } else {
+                "optimistic"
+            },
+            &r,
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,33 @@
+//! # opcsp-lang — the mini CSP language and its optimistic transformation
+//!
+//! The paper assumes "a high-level model in which independent sequential
+//! processes communicate by message passing or by making inter-process
+//! calls, as in CSP, Ada, or Hermes" (§2), and a compiler that rewrites
+//! `S1; S2` into an optimistic fork/join given predictor hints. This crate
+//! provides that substrate:
+//!
+//! - [`ast`] / [`parser`] — the language and its concrete syntax;
+//! - [`analyze`] — read/write sets, passed variables, antidependencies;
+//! - [`transform`] — the §2 transformation: `parallelize` pragma →
+//!   `ForkJoin` with predictor and verifier;
+//! - [`interp`] — a resumable, cloneable interpreter implementing
+//!   `opcsp_sim::Behavior`, so transformed programs run under the full
+//!   protocol (checkpointing, rollback, commit guards);
+//! - [`pretty`] — rendering the transformed program;
+//! - [`system`] — program → simulation world assembly.
+
+pub mod analyze;
+pub mod ast;
+pub mod interp;
+pub mod parser;
+pub mod pretty;
+pub mod system;
+pub mod transform;
+
+pub use analyze::{analyze_parallelize, ParallelizeAnalysis, RwSets};
+pub use ast::{block, BinOp, Block, Expr, ProcDef, Program, Stmt, UnOp};
+pub use interp::{InterpState, ProgramBehavior};
+pub use parser::{parse_expr, parse_program, ParseError};
+pub use pretty::program_to_string;
+pub use system::{run_source, System};
+pub use transform::{transform_program, ForkSiteReport, TransformError, Transformed};

@@ -1,0 +1,633 @@
+//! A small recursive-descent parser for the mini CSP language.
+//!
+//! ```text
+//! process X {
+//!     let i = 0;
+//!     while i < 4 {
+//!         parallelize guess ok = true {
+//!             ok = call Y(i) : "C";
+//!         } then {
+//!             if !ok { output "failed"; }
+//!         }
+//!         i = i + 1;
+//!     }
+//! }
+//! ```
+
+use crate::ast::*;
+use opcsp_core::Value;
+use std::fmt;
+
+/// Parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Punct(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: msg.into(),
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Tok)>, ParseError> {
+        const PUNCTS: &[&str] = &[
+            "==", "!=", "<=", ">=", "&&", "||", "{", "}", "(", ")", "[", "]", ";", ":", ",", "=",
+            "<", ">", "+", "-", "*", "/", "%", "!", ".",
+        ];
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and // comments.
+            loop {
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                    if self.src[self.pos] == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+                if self.pos + 1 < self.src.len() && &self.src[self.pos..self.pos + 2] == b"//" {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if self.pos >= self.src.len() {
+                return Ok(out);
+            }
+            let c = self.src[self.pos];
+            let line = self.line;
+            if c.is_ascii_alphabetic() || c == b'_' {
+                let start = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let ident = std::str::from_utf8(&self.src[start..self.pos])
+                    .unwrap()
+                    .to_string();
+                out.push((line, Tok::Ident(ident)));
+            } else if c.is_ascii_digit() {
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                let n: i64 = std::str::from_utf8(&self.src[start..self.pos])
+                    .unwrap()
+                    .parse()
+                    .map_err(|e| self.error(format!("bad integer: {e}")))?;
+                out.push((line, Tok::Int(n)));
+            } else if c == b'"' {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                    if self.src[self.pos] == b'\n' {
+                        return Err(self.error("unterminated string"));
+                    }
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(self.error("unterminated string"));
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .unwrap()
+                    .to_string();
+                self.pos += 1;
+                out.push((line, Tok::Str(s)));
+            } else {
+                let rest = &self.src[self.pos..];
+                let p = PUNCTS
+                    .iter()
+                    .find(|p| rest.starts_with(p.as_bytes()))
+                    .ok_or_else(|| self.error(format!("unexpected character {:?}", c as char)))?;
+                self.pos += p.len();
+                out.push((line, Tok::Punct(p)));
+            }
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        // Report the line of the most recently consumed token (errors are
+        // usually raised just after consuming the offending token), falling
+        // back to the current one.
+        let idx = self
+            .pos
+            .saturating_sub(1)
+            .min(self.toks.len().saturating_sub(1));
+        self.toks.get(idx).map(|(l, _)| *l).unwrap_or(1)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(q)) if q == p => Ok(()),
+            other => Err(self.error(format!("expected `{p}`, found {other:?}"))),
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.try_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`")))
+        }
+    }
+
+    // -- program --------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut procs = Vec::new();
+        while self.peek().is_some() {
+            self.expect_keyword("process")?;
+            let name = self.ident()?;
+            let body = self.braced_block()?;
+            procs.push(ProcDef { name, body });
+        }
+        Ok(Program { procs })
+    }
+
+    fn braced_block(&mut self) -> Result<Block, ParseError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.try_punct("}") {
+            if self.peek().is_none() {
+                return Err(self.error("unexpected end of input in block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(block(stmts))
+    }
+
+    // -- statements ------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.try_keyword("let") {
+            let name = self.ident()?;
+            self.eat_punct("=")?;
+            let e = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.try_keyword("send") {
+            let target = self.ident()?;
+            self.eat_punct("(")?;
+            let arg = self.expr()?;
+            self.eat_punct(")")?;
+            let label = self.opt_label("M")?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Send { target, arg, label });
+        }
+        if self.try_keyword("receive") {
+            let var = self.ident()?;
+            let kind_var = if self.try_punct(",") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            self.eat_punct(";")?;
+            return Ok(Stmt::Receive { var, kind_var });
+        }
+        if self.try_keyword("reply") {
+            let value = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Reply { value });
+        }
+        if self.try_keyword("output") {
+            let e = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Output(e));
+        }
+        if self.try_keyword("compute") {
+            let e = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Compute(e));
+        }
+        if self.try_keyword("if") {
+            let cond = self.expr()?;
+            let then_ = self.braced_block()?;
+            let else_ = if self.try_keyword("else") {
+                self.braced_block()?
+            } else {
+                block(vec![])
+            };
+            return Ok(Stmt::If { cond, then_, else_ });
+        }
+        if self.try_keyword("while") {
+            let cond = self.expr()?;
+            let body = self.braced_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.try_keyword("parallelize") {
+            let mut hints = Vec::new();
+            if self.try_keyword("guess") {
+                loop {
+                    let v = self.ident()?;
+                    self.eat_punct("=")?;
+                    let e = self.expr()?;
+                    hints.push((v, e));
+                    if !self.try_punct(",") {
+                        break;
+                    }
+                }
+            }
+            let s1 = self.braced_block()?;
+            self.expect_keyword("then")?;
+            let s2 = self.braced_block()?;
+            return Ok(Stmt::ParallelizeHint { hints, s1, s2 });
+        }
+        // Assignment or call: `x = expr;` or `x = call Y(e) : "C";`
+        let name = self.ident()?;
+        self.eat_punct("=")?;
+        if self.try_keyword("call") {
+            let target = self.ident()?;
+            self.eat_punct("(")?;
+            let arg = self.expr()?;
+            self.eat_punct(")")?;
+            let label = self.opt_label("C")?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Call {
+                target,
+                arg,
+                result: name,
+                label,
+            });
+        }
+        let e = self.expr()?;
+        self.eat_punct(";")?;
+        Ok(Stmt::Assign(name, e))
+    }
+
+    fn opt_label(&mut self, default: &str) -> Result<String, ParseError> {
+        if self.try_punct(":") {
+            match self.next() {
+                Some(Tok::Str(s)) => Ok(s),
+                other => Err(self.error(format!("expected label string, found {other:?}"))),
+            }
+        } else {
+            Ok(default.to_string())
+        }
+    }
+
+    // -- expressions (precedence climbing) -------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while self.try_punct("||") {
+            e = Expr::bin(BinOp::Or, e, self.and_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.cmp_expr()?;
+        while self.try_punct("&&") {
+            e = Expr::bin(BinOp::And, e, self.cmp_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let e = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Punct("==")) => Some(BinOp::Eq),
+            Some(Tok::Punct("!=")) => Some(BinOp::Ne),
+            Some(Tok::Punct("<=")) => Some(BinOp::Le),
+            Some(Tok::Punct(">=")) => Some(BinOp::Ge),
+            Some(Tok::Punct("<")) => Some(BinOp::Lt),
+            Some(Tok::Punct(">")) => Some(BinOp::Gt),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let r = self.add_expr()?;
+            return Ok(Expr::bin(op, e, r));
+        }
+        Ok(e)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            if self.try_punct("+") {
+                e = Expr::bin(BinOp::Add, e, self.mul_expr()?);
+            } else if self.try_punct("-") {
+                e = Expr::bin(BinOp::Sub, e, self.mul_expr()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            if self.try_punct("*") {
+                e = Expr::bin(BinOp::Mul, e, self.unary_expr()?);
+            } else if self.try_punct("/") {
+                e = Expr::bin(BinOp::Div, e, self.unary_expr()?);
+            } else if self.try_punct("%") {
+                e = Expr::bin(BinOp::Mod, e, self.unary_expr()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.try_punct("!") {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)));
+        }
+        if self.try_punct("-") {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.try_punct(".") {
+                let f = self.ident()?;
+                e = Expr::Field(Box::new(e), f);
+            } else if self.try_punct("[") {
+                let idx = self.expr()?;
+                self.eat_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Tok::Int(n)) => Ok(Expr::Lit(Value::Int(n))),
+            Some(Tok::Str(s)) => Ok(Expr::Lit(Value::str(s))),
+            Some(Tok::Ident(s)) if s == "true" => Ok(Expr::Lit(Value::Bool(true))),
+            Some(Tok::Ident(s)) if s == "false" => Ok(Expr::Lit(Value::Bool(false))),
+            Some(Tok::Ident(s)) if s == "unit" => Ok(Expr::Lit(Value::Unit)),
+            Some(Tok::Ident(s)) if s == "len" => {
+                self.eat_punct("(")?;
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(Expr::Len(Box::new(e)))
+            }
+            Some(Tok::Ident(s)) => Ok(Expr::Var(s)),
+            Some(Tok::Punct("(")) => {
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Some(Tok::Punct("[")) => {
+                let mut items = Vec::new();
+                if !self.try_punct("]") {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.try_punct(",") {
+                            break;
+                        }
+                    }
+                    self.eat_punct("]")?;
+                }
+                Ok(Expr::List(items))
+            }
+            Some(Tok::Punct("{")) => {
+                // Record literal: { a: e, b: e }
+                let mut fields = Vec::new();
+                if !self.try_punct("}") {
+                    loop {
+                        let name = self.ident()?;
+                        self.eat_punct(":")?;
+                        let e = self.expr()?;
+                        fields.push((name, e));
+                        if !self.try_punct(",") {
+                            break;
+                        }
+                    }
+                    self.eat_punct("}")?;
+                }
+                Ok(Expr::Record(fields))
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse a whole program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+/// Parse a single expression (handy in tests and predictor hints).
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.peek().is_some() {
+        return Err(p.error("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_expressions_with_precedence() {
+        let e = parse_expr("1 + 2 * 3 == 7 && !false").unwrap();
+        // (((1 + (2*3)) == 7) && (!false))
+        match e {
+            Expr::Binary(BinOp::And, l, _) => match *l {
+                Expr::Binary(BinOp::Eq, _, _) => {}
+                other => panic!("bad lhs {other:?}"),
+            },
+            other => panic!("bad root {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update_write_program() {
+        let src = r#"
+            process X {
+                parallelize guess ok = true {
+                    ok = call Y({item: 7, value: 42}) : "C1";
+                } then {
+                    if ok {
+                        r = call Z("file-data") : "C3";
+                    }
+                }
+            }
+            process Y {
+                while true {
+                    receive req;
+                    down = call Z(req) : "C2";
+                    reply down;
+                }
+            }
+            process Z {
+                while true {
+                    receive req;
+                    compute 1;
+                    reply true;
+                }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.procs.len(), 3);
+        let x = p.proc("X").unwrap();
+        match &x.body[0] {
+            Stmt::ParallelizeHint { hints, s1, s2 } => {
+                assert_eq!(hints.len(), 1);
+                assert_eq!(hints[0].0, "ok");
+                assert_eq!(s1.len(), 1);
+                assert_eq!(s2.len(), 1);
+            }
+            other => panic!("expected pragma, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_labels_and_defaults() {
+        let p = parse_program(r#"process A { x = call B(1); send B(2) : "M9"; }"#).unwrap();
+        match &p.proc("A").unwrap().body[..] {
+            [Stmt::Call { label, .. }, Stmt::Send { label: l2, .. }] => {
+                assert_eq!(label, "C");
+                assert_eq!(l2, "M9");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let p = parse_program("// a comment\nprocess A { // inner\n }").unwrap();
+        assert_eq!(p.procs.len(), 1);
+        assert!(p.proc("A").unwrap().body.is_empty());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_program("process A {\n let x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err2 = parse_program("process").unwrap_err();
+        assert_eq!(err2.line, 1);
+    }
+
+    #[test]
+    fn field_access_parses() {
+        let e = parse_expr("req.item + 1").unwrap();
+        match e {
+            Expr::Binary(BinOp::Add, l, _) => {
+                assert!(matches!(*l, Expr::Field(_, ref f) if f == "item"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(parse_program("process A { output \"oops; }").is_err());
+    }
+
+    #[test]
+    fn multiple_guess_hints() {
+        let p =
+            parse_program("process A { parallelize guess a = 1, b = true { } then { } }").unwrap();
+        match &p.proc("A").unwrap().body[0] {
+            Stmt::ParallelizeHint { hints, .. } => assert_eq!(hints.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

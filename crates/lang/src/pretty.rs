@@ -1,0 +1,219 @@
+//! Pretty-printer for programs — used to show the output of the
+//! optimistic transformation (Figure 1's "what the compiler did").
+
+use crate::ast::{Block, Expr, ProcDef, Program, Stmt, UnOp};
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, proc) in p.procs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        proc_to_string(proc, &mut out);
+    }
+    out
+}
+
+fn proc_to_string(p: &ProcDef, out: &mut String) {
+    let _ = writeln!(out, "process {} {{", p.name);
+    block_to_string(&p.body, 1, out);
+    out.push_str("}\n");
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn block_to_string(b: &Block, level: usize, out: &mut String) {
+    for s in b.iter() {
+        stmt_to_string(s, level, out);
+    }
+}
+
+fn stmt_to_string(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Stmt::Let(v, e) => {
+            let _ = writeln!(out, "let {v} = {};", expr(e));
+        }
+        Stmt::Assign(v, e) => {
+            let _ = writeln!(out, "{v} = {};", expr(e));
+        }
+        Stmt::Call {
+            target,
+            arg,
+            result,
+            label,
+        } => {
+            let _ = writeln!(
+                out,
+                "{result} = call {target}({}) : \"{label}\";",
+                expr(arg)
+            );
+        }
+        Stmt::Send { target, arg, label } => {
+            let _ = writeln!(out, "send {target}({}) : \"{label}\";", expr(arg));
+        }
+        Stmt::Receive { var, kind_var } => match kind_var {
+            Some(k) => {
+                let _ = writeln!(out, "receive {var}, {k};");
+            }
+            None => {
+                let _ = writeln!(out, "receive {var};");
+            }
+        },
+        Stmt::Reply { value } => {
+            let _ = writeln!(out, "reply {};", expr(value));
+        }
+        Stmt::Output(e) => {
+            let _ = writeln!(out, "output {};", expr(e));
+        }
+        Stmt::Compute(e) => {
+            let _ = writeln!(out, "compute {};", expr(e));
+        }
+        Stmt::If { cond, then_, else_ } => {
+            let _ = writeln!(out, "if {} {{", expr(cond));
+            block_to_string(then_, level + 1, out);
+            if else_.is_empty() {
+                indent(level, out);
+                out.push_str("}\n");
+            } else {
+                indent(level, out);
+                out.push_str("} else {\n");
+                block_to_string(else_, level + 1, out);
+                indent(level, out);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while {} {{", expr(cond));
+            block_to_string(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::ParallelizeHint { hints, s1, s2 } => {
+            out.push_str("parallelize");
+            if !hints.is_empty() {
+                out.push_str(" guess ");
+                for (i, (v, e)) in hints.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{v} = {}", expr(e));
+                }
+            }
+            out.push_str(" {\n");
+            block_to_string(s1, level + 1, out);
+            indent(level, out);
+            out.push_str("} then {\n");
+            block_to_string(s2, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::ForkJoin {
+            site,
+            guesses,
+            s1,
+            s2,
+            copy_needed,
+        } => {
+            let gs: Vec<String> = guesses
+                .iter()
+                .map(|(v, e)| format!("{v} = {}", expr(e)))
+                .collect();
+            let _ = writeln!(
+                out,
+                "fork@{site} guess [{}]{} {{  // S1 (left thread)",
+                gs.join(", "),
+                if *copy_needed { " copy" } else { "" }
+            );
+            block_to_string(s1, level + 1, out);
+            indent(level, out);
+            out.push_str("} join {  // S2 (right thread)\n");
+            block_to_string(s2, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Render an expression.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => v.to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Unary(UnOp::Not, e) => format!("!{}", atom(e)),
+        Expr::Unary(UnOp::Neg, e) => format!("-{}", atom(e)),
+        Expr::Binary(op, l, r) => format!("{} {op} {}", atom(l), atom(r)),
+        Expr::Record(fields) => {
+            let fs: Vec<String> = fields
+                .iter()
+                .map(|(k, e)| format!("{k}: {}", expr(e)))
+                .collect();
+            format!("{{{}}}", fs.join(", "))
+        }
+        Expr::Field(e, f) => format!("{}.{f}", atom(e)),
+        Expr::List(items) => {
+            let xs: Vec<String> = items.iter().map(expr).collect();
+            format!("[{}]", xs.join(", "))
+        }
+        Expr::Index(e, i) => format!("{}[{}]", atom(e), expr(i)),
+        Expr::Len(e) => format!("len({})", expr(e)),
+    }
+}
+
+fn atom(e: &Expr) -> String {
+    match e {
+        Expr::Binary(..) => format!("({})", expr(e)),
+        _ => expr(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::transform::transform_program;
+
+    #[test]
+    fn round_trips_through_parser() {
+        let src = r#"process X {
+    let i = 0;
+    while i < 3 {
+        ok = call Y(i) : "C";
+        if !ok {
+            output "fail";
+        }
+        i = i + 1;
+    }
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let printed = program_to_string(&p);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p, p2, "pretty-print must round-trip:\n{printed}");
+    }
+
+    #[test]
+    fn fork_join_renders_site_and_guesses() {
+        let p = parse_program(
+            "process X { parallelize guess ok = true { ok = call Y(1); } then { output ok; } }",
+        )
+        .unwrap();
+        let t = transform_program(&p).unwrap();
+        let s = program_to_string(&t.program);
+        assert!(s.contains("fork@1 guess [ok = true]"), "{s}");
+        assert!(s.contains("join"), "{s}");
+    }
+
+    #[test]
+    fn expressions_parenthesize_nested_operations() {
+        let p = parse_program("process A { let x = (1 + 2) * 3; }").unwrap();
+        let s = program_to_string(&p);
+        assert!(s.contains("(1 + 2) * 3"), "{s}");
+    }
+}

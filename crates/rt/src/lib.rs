@@ -1,0 +1,13 @@
+//! # opcsp-rt — the protocol on real threads
+//!
+//! One OS thread per process, crossbeam channels as the network, a
+//! latency-injecting delayer thread as the WAN, and the identical
+//! protocol core (`opcsp_core::ProcessCore`) the simulator uses. Shows
+//! the transformation is not simulator-bound and provides the wall-clock
+//! measurements of experiment E7.
+
+pub mod net;
+pub mod runtime;
+
+pub use net::Delayer;
+pub use runtime::{RtConfig, RtResult, RtStats, RtWorld};

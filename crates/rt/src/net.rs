@@ -1,0 +1,158 @@
+//! Latency-injecting network for the real-thread runtime: a delayer
+//! thread holds messages for their transit time before handing them to
+//! the destination actor's inbox.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A deliverable item addressed to an actor inbox.
+pub struct Delayed<T> {
+    pub due: Instant,
+    pub seq: u64,
+    pub to: Sender<T>,
+    pub item: T,
+}
+
+impl<T> PartialEq for Delayed<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for Delayed<T> {}
+impl<T> PartialOrd for Delayed<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Delayed<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+enum Cmd<T> {
+    Enqueue(Delayed<T>),
+    Shutdown,
+}
+
+/// Handle to the delayer thread.
+pub struct Delayer<T: Send + 'static> {
+    tx: Sender<Cmd<T>>,
+    handle: Option<JoinHandle<()>>,
+    seq: std::sync::atomic::AtomicU64,
+}
+
+impl<T: Send + 'static> Delayer<T> {
+    pub fn spawn() -> Self {
+        let (tx, rx): (Sender<Cmd<T>>, Receiver<Cmd<T>>) = unbounded();
+        let handle = std::thread::Builder::new()
+            .name("opcsp-rt-delayer".into())
+            .spawn(move || delayer_loop(rx))
+            .expect("spawn delayer");
+        Delayer {
+            tx,
+            handle: Some(handle),
+            seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Deliver `item` to `to` after `delay`.
+    pub fn send_after(&self, delay: Duration, to: Sender<T>, item: T) {
+        let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let _ = self.tx.send(Cmd::Enqueue(Delayed {
+            due: Instant::now() + delay,
+            seq,
+            to,
+            item,
+        }));
+    }
+
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Cmd::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for Delayer<T> {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Cmd::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn delayer_loop<T>(rx: Receiver<Cmd<T>>) {
+    let mut heap: BinaryHeap<Reverse<Delayed<T>>> = BinaryHeap::new();
+    loop {
+        // Wait for the next due item or a new command.
+        let timeout = heap
+            .peek()
+            .map(|Reverse(d)| d.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(Cmd::Enqueue(d)) => heap.push(Reverse(d)),
+            Ok(Cmd::Shutdown) => {
+                // Flush everything immediately so receivers can drain.
+                while let Some(Reverse(d)) = heap.pop() {
+                    let _ = d.to.send(d.item);
+                }
+                return;
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                while let Some(Reverse(d)) = heap.pop() {
+                    let _ = d.to.send(d.item);
+                }
+                return;
+            }
+        }
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().map(|Reverse(d)| d.due <= now).unwrap_or(false) {
+            let Reverse(d) = heap.pop().unwrap();
+            let _ = d.to.send(d.item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_due_order_with_latency() {
+        let delayer: Delayer<u32> = Delayer::spawn();
+        let (tx, rx) = unbounded();
+        let t0 = Instant::now();
+        delayer.send_after(Duration::from_millis(30), tx.clone(), 2);
+        delayer.send_after(Duration::from_millis(5), tx.clone(), 1);
+        let first = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        let second = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!((first, second), (1, 2));
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        delayer.shutdown();
+    }
+
+    #[test]
+    fn shutdown_flushes_pending() {
+        let delayer: Delayer<u32> = Delayer::spawn();
+        let (tx, rx) = unbounded();
+        delayer.send_after(Duration::from_secs(60), tx, 7);
+        delayer.shutdown();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 7);
+    }
+
+    #[test]
+    fn zero_delay_is_immediate() {
+        let delayer: Delayer<&'static str> = Delayer::spawn();
+        let (tx, rx) = unbounded();
+        delayer.send_after(Duration::ZERO, tx, "now");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), "now");
+    }
+}

@@ -1,0 +1,920 @@
+//! The real-thread runtime: one OS thread per process, crossbeam channels
+//! as the network, and the same protocol core as the simulator.
+//!
+//! Inter-process parallelism is real (actors run concurrently on separate
+//! OS threads); the paper's intra-process left/right threads are logical
+//! threads multiplexed inside each actor, exactly as a single-core Mach
+//! task would run them. Latency injection (the `net::Delayer`) recreates
+//! the distributed setting whose round trips call streaming hides — the
+//! E7 wall-clock benchmarks measure precisely that.
+//!
+//! Scope note (documented in DESIGN.md): unlike the simulator, the
+//! runtime detects completion by waiting for designated *client*
+//! processes to finish their programs and resolve their guesses, then
+//! granting a quiescence grace period before shutting servers down.
+
+use crate::net::Delayer;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use opcsp_core::{
+    ArrivalVerdict, CallId, Control, CoreConfig, DataKind, Envelope, GuessId, JoinDecision, MsgId,
+    ProcessCore, ProcessId, Value,
+};
+use opcsp_sim::{Behavior, BehaviorState, Effect, ObsKind, Observable, Resume};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    pub core: CoreConfig,
+    pub optimism: bool,
+    /// One-way injected network latency.
+    pub latency: Duration,
+    /// Wall-clock budget for a left thread before its guess aborts.
+    pub fork_timeout: Duration,
+    /// Wall time one `Compute` cost unit takes (zero = free).
+    pub compute_unit: Duration,
+    /// Hard cap on the whole run.
+    pub run_timeout: Duration,
+    /// Quiescence grace after the last client finishes.
+    pub grace: Duration,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            core: CoreConfig::default(),
+            optimism: true,
+            latency: Duration::from_millis(2),
+            fork_timeout: Duration::from_secs(5),
+            compute_unit: Duration::ZERO,
+            run_timeout: Duration::from_secs(30),
+            grace: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Aggregated statistics across all actors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RtStats {
+    pub forks: u64,
+    pub commits: u64,
+    pub aborts: u64,
+    pub rollbacks: u64,
+    pub discarded_threads: u64,
+    pub orphans: u64,
+    pub data_messages: u64,
+    pub control_messages: u64,
+}
+
+impl RtStats {
+    fn merge(&mut self, o: &RtStats) {
+        self.forks += o.forks;
+        self.commits += o.commits;
+        self.aborts += o.aborts;
+        self.rollbacks += o.rollbacks;
+        self.discarded_threads += o.discarded_threads;
+        self.orphans += o.orphans;
+        self.data_messages += o.data_messages;
+        self.control_messages += o.control_messages;
+    }
+}
+
+/// Result of a run.
+#[derive(Debug)]
+pub struct RtResult {
+    pub wall: Duration,
+    pub stats: RtStats,
+    /// Per-process committed observable logs (thread order).
+    pub logs: BTreeMap<ProcessId, Vec<Observable>>,
+    /// Released external outputs.
+    pub external: Vec<(ProcessId, Value)>,
+    /// True if the run hit `run_timeout` before the clients finished.
+    pub timed_out: bool,
+}
+
+enum Wire {
+    Data(Envelope),
+    Ctrl(Control),
+    Timer(GuessId),
+    Shutdown,
+}
+
+enum Report {
+    ClientDone(ProcessId),
+    Final {
+        pid: ProcessId,
+        stats: RtStats,
+        log: Vec<Observable>,
+        external: Vec<Value>,
+    },
+}
+
+/// Builder/handle for a runtime world.
+pub struct RtWorld {
+    cfg: RtConfig,
+    behaviors: Vec<Arc<dyn Behavior>>,
+    clients: Vec<ProcessId>,
+}
+
+impl RtWorld {
+    pub fn new(cfg: RtConfig) -> Self {
+        RtWorld {
+            cfg,
+            behaviors: Vec::new(),
+            clients: Vec::new(),
+        }
+    }
+
+    /// Register a process. `is_client` marks processes whose program
+    /// completion (plus guess resolution) signals the end of the run.
+    pub fn add_process(&mut self, b: impl Behavior + 'static, is_client: bool) -> ProcessId {
+        let id = ProcessId(self.behaviors.len() as u32);
+        self.behaviors.push(Arc::new(b));
+        if is_client {
+            self.clients.push(id);
+        }
+        id
+    }
+
+    /// Run to completion (all clients finished) or timeout.
+    pub fn run(self) -> RtResult {
+        let n = self.behaviors.len();
+        let delayer: Arc<Delayer<Wire>> = Arc::new(Delayer::spawn());
+        let msg_ids = Arc::new(AtomicU64::new(0));
+        let call_ids = Arc::new(AtomicU64::new(0));
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Wire>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let (report_tx, report_rx) = unbounded::<Report>();
+
+        let start = Instant::now();
+        let mut handles = Vec::with_capacity(n);
+        for (i, (behavior, rx)) in self.behaviors.into_iter().zip(receivers).enumerate() {
+            let actor = Actor {
+                pid: ProcessId(i as u32),
+                behavior,
+                cfg: self.cfg.clone(),
+                senders: senders.clone(),
+                delayer: delayer.clone(),
+                inbox: rx,
+                report: report_tx.clone(),
+                core: ProcessCore::new(ProcessId(i as u32), self.cfg.core.clone()),
+                threads: BTreeMap::new(),
+                pool: Vec::new(),
+                ready: VecDeque::new(),
+                stats: RtStats::default(),
+                guesses: BTreeMap::new(),
+                external: Vec::new(),
+                done_reported: false,
+                is_client: self.clients.contains(&ProcessId(i as u32)),
+                relayed: std::collections::BTreeSet::new(),
+            };
+            let mids = msg_ids.clone();
+            let cids = call_ids.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("opcsp-rt-{i}"))
+                    .spawn(move || actor.run(mids, cids))
+                    .expect("spawn actor"),
+            );
+        }
+        drop(report_tx);
+
+        // Coordinator: wait for every client to finish.
+        let mut waiting: Vec<ProcessId> = self.clients.clone();
+        let deadline = start + self.cfg.run_timeout;
+        let mut timed_out = false;
+        while !waiting.is_empty() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                timed_out = true;
+                break;
+            }
+            match report_rx.recv_timeout(left) {
+                Ok(Report::ClientDone(pid)) => waiting.retain(|p| *p != pid),
+                Ok(Report::Final { .. }) => {}
+                Err(_) => {
+                    timed_out = true;
+                    break;
+                }
+            }
+        }
+        if !timed_out {
+            std::thread::sleep(self.cfg.grace);
+        }
+        for s in &senders {
+            let _ = s.send(Wire::Shutdown);
+        }
+        // Collect final reports.
+        let mut stats = RtStats::default();
+        let mut logs = BTreeMap::new();
+        let mut external = Vec::new();
+        let mut finals = 0;
+        while finals < n {
+            match report_rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(Report::Final {
+                    pid,
+                    stats: s,
+                    log,
+                    external: e,
+                }) => {
+                    stats.merge(&s);
+                    logs.insert(pid, log);
+                    for v in e {
+                        external.push((pid, v));
+                    }
+                    finals += 1;
+                }
+                Ok(Report::ClientDone(_)) => {}
+                Err(_) => break,
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        let wall = start.elapsed();
+        RtResult {
+            wall,
+            stats,
+            logs,
+            external,
+            timed_out,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    BlockedRecv,
+    BlockedCall(CallId),
+    AwaitingJoin,
+    Done,
+}
+
+#[derive(Clone)]
+struct Checkpoint {
+    state: BehaviorState,
+    status: Status,
+    consumed_len: usize,
+    oblog_len: usize,
+    out_buf_len: usize,
+    call_stack: Vec<(ProcessId, CallId, String)>,
+    fork_guess: Option<GuessId>,
+}
+
+struct RtThread {
+    state: BehaviorState,
+    status: Status,
+    checkpoints: Vec<Checkpoint>,
+    consumed: Vec<(u32, Envelope)>,
+    oblog: Vec<Observable>,
+    out_buf: Vec<Value>,
+    call_stack: Vec<(ProcessId, CallId, String)>,
+    fork_guess: Option<GuessId>,
+}
+
+impl RtThread {
+    fn new(state: BehaviorState) -> Self {
+        let chk = Checkpoint {
+            state: state.clone(),
+            status: Status::Ready,
+            consumed_len: 0,
+            oblog_len: 0,
+            out_buf_len: 0,
+            call_stack: Vec::new(),
+            fork_guess: None,
+        };
+        RtThread {
+            state,
+            status: Status::Ready,
+            checkpoints: vec![chk],
+            consumed: Vec::new(),
+            oblog: Vec::new(),
+            out_buf: Vec::new(),
+            call_stack: Vec::new(),
+            fork_guess: None,
+        }
+    }
+}
+
+struct Actor {
+    pid: ProcessId,
+    behavior: Arc<dyn Behavior>,
+    cfg: RtConfig,
+    senders: Vec<Sender<Wire>>,
+    delayer: Arc<Delayer<Wire>>,
+    inbox: Receiver<Wire>,
+    report: Sender<Report>,
+    core: ProcessCore,
+    threads: BTreeMap<u32, RtThread>,
+    pool: Vec<Envelope>,
+    /// (thread, resume) work items to run, in FIFO order (preserves the
+    /// program's send order across fork chains).
+    ready: VecDeque<(u32, Resume)>,
+    stats: RtStats,
+    guesses: BTreeMap<GuessId, Vec<(String, Value)>>,
+    external: Vec<Value>,
+    done_reported: bool,
+    is_client: bool,
+    /// Targeted dissemination dedup (kind, guess).
+    relayed: std::collections::BTreeSet<(u8, GuessId)>,
+}
+
+impl Actor {
+    fn run(mut self, msg_ids: Arc<AtomicU64>, call_ids: Arc<AtomicU64>) {
+        self.threads.insert(0, RtThread::new(self.behavior.init()));
+        self.ready.push_back((0, Resume::Start));
+        self.pump(&msg_ids, &call_ids);
+        loop {
+            match self.inbox.recv() {
+                Ok(Wire::Shutdown) | Err(_) => break,
+                Ok(Wire::Data(env)) => self.on_data(env),
+                Ok(Wire::Ctrl(ctrl)) => self.on_ctrl(ctrl),
+                Ok(Wire::Timer(g)) => self.on_timer(g),
+            }
+            self.pump(&msg_ids, &call_ids);
+            self.maybe_report_done();
+        }
+        let log: Vec<Observable> = self
+            .threads
+            .values()
+            .flat_map(|t| t.oblog.iter().cloned())
+            .collect();
+        let _ = self.report.send(Report::Final {
+            pid: self.pid,
+            stats: self.stats.clone(),
+            log,
+            external: std::mem::take(&mut self.external),
+        });
+    }
+
+    fn maybe_report_done(&mut self) {
+        if self.done_reported || !self.is_client {
+            return;
+        }
+        let program_done = self
+            .threads
+            .values()
+            .all(|t| matches!(t.status, Status::Done));
+        if program_done && self.core.pending_own_guesses() == 0 {
+            self.done_reported = true;
+            let _ = self.report.send(Report::ClientDone(self.pid));
+        }
+    }
+
+    /// Run every ready (thread, resume) item until quiescence.
+    fn pump(&mut self, msg_ids: &Arc<AtomicU64>, call_ids: &Arc<AtomicU64>) {
+        while let Some((tid, resume)) = self.ready.pop_front() {
+            let Some(th) = self.threads.get_mut(&tid) else {
+                continue;
+            };
+            if th.status == Status::Done {
+                continue;
+            }
+            th.status = Status::Ready;
+            let behavior = self.behavior.clone();
+            let effect = behavior.step(&mut th.state, resume);
+            self.handle_effect(tid, effect, msg_ids, call_ids);
+        }
+    }
+
+    fn handle_effect(
+        &mut self,
+        tid: u32,
+        effect: Effect,
+        msg_ids: &Arc<AtomicU64>,
+        call_ids: &Arc<AtomicU64>,
+    ) {
+        match effect {
+            Effect::Compute { cost } => {
+                if !self.cfg.compute_unit.is_zero() && cost > 0 {
+                    std::thread::sleep(self.cfg.compute_unit * cost as u32);
+                }
+                self.ready.push_back((tid, Resume::Continue));
+            }
+            Effect::Send { to, payload, label } => {
+                self.send_data(tid, to, DataKind::Send, payload, label, msg_ids);
+                self.ready.push_back((tid, Resume::Continue));
+            }
+            Effect::Call { to, payload, label } => {
+                let cid = CallId(call_ids.fetch_add(1, Ordering::Relaxed));
+                self.send_data(tid, to, DataKind::Call(cid), payload, label, msg_ids);
+                self.threads.get_mut(&tid).unwrap().status = Status::BlockedCall(cid);
+                self.try_deliver();
+            }
+            Effect::Reply { payload, label } => {
+                let th = self.threads.get_mut(&tid).unwrap();
+                let (to, cid, call_label) =
+                    th.call_stack.pop().expect("Reply with no call in service");
+                let label = if label.is_empty() {
+                    opcsp_sim::reply_label(&call_label)
+                } else {
+                    label
+                };
+                self.send_data(tid, to, DataKind::Return(cid), payload, label, msg_ids);
+                self.ready.push_back((tid, Resume::Continue));
+            }
+            Effect::Receive => {
+                self.threads.get_mut(&tid).unwrap().status = Status::BlockedRecv;
+                self.try_deliver();
+            }
+            Effect::External { payload } => {
+                let guard_empty = self
+                    .core
+                    .threads
+                    .get(&tid)
+                    .map(|m| m.guard.is_empty())
+                    .unwrap_or(true);
+                let th = self.threads.get_mut(&tid).unwrap();
+                th.oblog.push(Observable::Output {
+                    payload: payload.clone(),
+                });
+                if guard_empty {
+                    self.external.push(payload);
+                } else {
+                    th.out_buf.push(payload);
+                }
+                self.ready.push_back((tid, Resume::Continue));
+            }
+            Effect::CallThenFork {
+                to,
+                payload,
+                label,
+                site,
+                guesses,
+            } => {
+                let cid = CallId(call_ids.fetch_add(1, Ordering::Relaxed));
+                self.send_data(tid, to, DataKind::Call(cid), payload, label, msg_ids);
+                let optimistic = self.cfg.optimism && self.core.may_fork_optimistically(site);
+                if optimistic {
+                    let rec = self.core.fork(tid, site);
+                    self.stats.forks += 1;
+                    let left = self.threads.get_mut(&tid).unwrap();
+                    left.fork_guess = Some(rec.guess);
+                    left.status = Status::BlockedCall(cid);
+                    let mut right = RtThread::new(left.state.clone());
+                    right.call_stack = left.call_stack.clone();
+                    right.checkpoints[0].call_stack = right.call_stack.clone();
+                    self.threads.insert(rec.right_thread, right);
+                    self.guesses.insert(rec.guess, guesses.clone());
+                    self.ready
+                        .push_back((rec.right_thread, Resume::ForkRight { guesses }));
+                    self.delayer.send_after(
+                        self.cfg.fork_timeout,
+                        self.senders[self.pid.0 as usize].clone(),
+                        Wire::Timer(rec.guess),
+                    );
+                } else {
+                    self.threads.get_mut(&tid).unwrap().status = Status::BlockedCall(cid);
+                }
+                self.try_deliver();
+            }
+            Effect::Fork { site, guesses } => {
+                let optimistic = self.cfg.optimism && self.core.may_fork_optimistically(site);
+                if !optimistic {
+                    self.ready.push_back((tid, Resume::ForkDenied));
+                    return;
+                }
+                let rec = self.core.fork(tid, site);
+                self.stats.forks += 1;
+                let left = self.threads.get_mut(&tid).unwrap();
+                left.fork_guess = Some(rec.guess);
+                let mut right = RtThread::new(left.state.clone());
+                right.call_stack = left.call_stack.clone();
+                right.checkpoints[0].call_stack = right.call_stack.clone();
+                self.threads.insert(rec.right_thread, right);
+                self.guesses.insert(rec.guess, guesses.clone());
+                self.ready.push_back((tid, Resume::ForkLeft));
+                self.ready
+                    .push_back((rec.right_thread, Resume::ForkRight { guesses }));
+                // Timer comes back through our own inbox.
+                self.delayer.send_after(
+                    self.cfg.fork_timeout,
+                    self.senders[self.pid.0 as usize].clone(),
+                    Wire::Timer(rec.guess),
+                );
+            }
+            Effect::JoinLeft { actual } => self.handle_join(tid, actual),
+            Effect::Done => {
+                let th = self.threads.get_mut(&tid).unwrap();
+                th.status = Status::Done;
+                if let Some(meta) = self.core.threads.get_mut(&tid) {
+                    if meta.guard.is_empty() {
+                        meta.phase = opcsp_core::ThreadPhase::Done;
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_data(
+        &mut self,
+        tid: u32,
+        to: ProcessId,
+        kind: DataKind,
+        payload: Value,
+        label: String,
+        msg_ids: &Arc<AtomicU64>,
+    ) {
+        let env = Envelope {
+            id: MsgId(msg_ids.fetch_add(1, Ordering::Relaxed)),
+            from: self.pid,
+            from_thread: tid,
+            to,
+            guard: self.core.guard_for_send(tid),
+            kind,
+            payload: payload.clone(),
+            label,
+        };
+        self.stats.data_messages += 1;
+        self.core.note_send(&env.guard, to);
+        let th = self.threads.get_mut(&tid).unwrap();
+        th.oblog.push(Observable::Sent {
+            to,
+            kind: env.kind.into(),
+            payload,
+        });
+        self.delayer.send_after(
+            self.cfg.latency,
+            self.senders[to.0 as usize].clone(),
+            Wire::Data(env),
+        );
+    }
+
+    fn ctrl_kind(ctrl: &Control) -> u8 {
+        match ctrl {
+            Control::Commit(_) => 0,
+            Control::Abort(_) => 1,
+            Control::Precedence(..) => 2,
+        }
+    }
+
+    /// Disseminate a control message: broadcast, or (with
+    /// `targeted_control`) to recorded dependents plus — for PRECEDENCE —
+    /// the guard members' owners; receivers relay onward (§4.2.5).
+    fn broadcast(&mut self, ctrl: Control) {
+        self.relayed
+            .insert((Self::ctrl_kind(&ctrl), ctrl.subject()));
+        let targets: Vec<usize> = if self.cfg.core.targeted_control {
+            let mut t = self.core.dependents_of(ctrl.subject());
+            if let Control::Precedence(_, guard) = &ctrl {
+                for g in guard.iter() {
+                    if g.process != self.pid {
+                        t.insert(g.process);
+                    }
+                }
+            }
+            t.into_iter().map(|p| p.0 as usize).collect()
+        } else {
+            (0..self.senders.len())
+                .filter(|i| *i != self.pid.0 as usize)
+                .collect()
+        };
+        for i in targets {
+            self.stats.control_messages += 1;
+            self.delayer.send_after(
+                self.cfg.latency,
+                self.senders[i].clone(),
+                Wire::Ctrl(ctrl.clone()),
+            );
+        }
+    }
+
+    /// Cooperative relay for targeted dissemination (once per message).
+    fn relay_control(&mut self, ctrl: &Control) {
+        if !self.cfg.core.targeted_control {
+            return;
+        }
+        let key = (Self::ctrl_kind(ctrl), ctrl.subject());
+        if !self.relayed.insert(key) {
+            return;
+        }
+        let targets: Vec<usize> = self
+            .core
+            .dependents_of(ctrl.subject())
+            .into_iter()
+            .map(|p| p.0 as usize)
+            .collect();
+        for i in targets {
+            self.stats.control_messages += 1;
+            self.delayer.send_after(
+                self.cfg.latency,
+                self.senders[i].clone(),
+                Wire::Ctrl(ctrl.clone()),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn on_data(&mut self, env: Envelope) {
+        match self.core.classify_arrival(&env) {
+            ArrivalVerdict::Orphan(_) => {
+                self.stats.orphans += 1;
+                return;
+            }
+            ArrivalVerdict::Ok => {}
+        }
+        if let DataKind::Return(cid) = env.kind {
+            let waiter = self
+                .threads
+                .iter()
+                .find(|(_, t)| t.status == Status::BlockedCall(cid))
+                .map(|(id, _)| *id);
+            if let Some(w) = waiter {
+                if let Some(doomed) = self.core.return_depends_on_future(w, &env) {
+                    let eff = self.core.on_abort(doomed);
+                    self.apply_abort_effects(eff);
+                }
+            }
+        }
+        self.pool.push(env);
+        self.try_deliver();
+    }
+
+    fn try_deliver(&mut self) {
+        loop {
+            let Some((tid, idx)) = self.pick_delivery() else {
+                return;
+            };
+            let env = self.pool.remove(idx);
+            if let ArrivalVerdict::Orphan(_) = self.core.classify_arrival(&env) {
+                self.stats.orphans += 1;
+                continue;
+            }
+            self.deliver_to(tid, env);
+        }
+    }
+
+    fn pick_delivery(&mut self) -> Option<(u32, usize)> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        for (tid, th) in &self.threads {
+            if let Status::BlockedCall(cid) = th.status {
+                if let Some(i) = self
+                    .pool
+                    .iter()
+                    .position(|m| m.kind == DataKind::Return(cid))
+                {
+                    return Some((*tid, i));
+                }
+            }
+        }
+        for (tid, th) in &self.threads {
+            if th.status != Status::BlockedRecv {
+                continue;
+            }
+            let candidates: Vec<(usize, &Envelope)> = self
+                .pool
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| {
+                    !m.kind.is_return()
+                        && !m.guard.iter().any(|g| {
+                            g.process == self.pid
+                                && g.incarnation == self.core.incarnation
+                                && g.index > *tid
+                        })
+                })
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let envs: Vec<&Envelope> = candidates.iter().map(|(_, e)| *e).collect();
+            if let Some(k) = self.core.choose_delivery(*tid, &envs) {
+                return Some((*tid, candidates[k].0));
+            }
+        }
+        None
+    }
+
+    fn deliver_to(&mut self, tid: u32, env: Envelope) {
+        let introduces = self.core.live_new_guard_count(tid, &env.guard) > 0;
+        if introduces {
+            let th = self.threads.get_mut(&tid).unwrap();
+            th.checkpoints.push(Checkpoint {
+                state: th.state.clone(),
+                status: th.status,
+                consumed_len: th.consumed.len(),
+                oblog_len: th.oblog.len(),
+                out_buf_len: th.out_buf.len(),
+                call_stack: th.call_stack.clone(),
+                fork_guess: th.fork_guess,
+            });
+        }
+        let _ = self.core.deliver(tid, &env);
+        let interval = self.core.threads[&tid].interval;
+        let th = self.threads.get_mut(&tid).unwrap();
+        th.consumed.push((interval, env.clone()));
+        th.oblog.push(Observable::Received {
+            from: env.from,
+            kind: env.kind.into(),
+            payload: env.payload.clone(),
+        });
+        if let DataKind::Call(cid) = env.kind {
+            th.call_stack.push((env.from, cid, env.label.clone()));
+        }
+        self.ready.push_back((tid, Resume::Msg(env)));
+    }
+
+    // ------------------------------------------------------------------
+
+    fn handle_join(&mut self, tid: u32, actual: Vec<(String, Value)>) {
+        let guess = self.threads[&tid].fork_guess;
+        let Some(guess) = guess else {
+            self.ready.push_back((tid, Resume::JoinSequential));
+            return;
+        };
+        let expected = self.guesses.get(&guess).cloned().unwrap_or_default();
+        let value_ok = expected
+            .iter()
+            .all(|(k, v)| actual.iter().any(|(ak, av)| ak == k && av == v));
+        match self.core.join_left_done(guess, value_ok) {
+            JoinDecision::Commit { committed } => {
+                for g in committed {
+                    self.local_commit(g);
+                }
+                self.flush_buffers();
+            }
+            JoinDecision::Abort { effects } => {
+                let survives = !effects.rollback_threads.iter().any(|(t, _)| *t == tid)
+                    && !effects.discard_threads.contains(&tid);
+                let rerun = self.apply_abort_effects(effects);
+                if survives && !rerun.contains(&guess) {
+                    if let Some(th) = self.threads.get_mut(&tid) {
+                        th.fork_guess = None;
+                    }
+                    self.ready.push_back((tid, Resume::JoinSequential));
+                }
+            }
+            JoinDecision::Await {
+                guess,
+                precedence_guard,
+            } => {
+                self.threads.get_mut(&tid).unwrap().status = Status::AwaitingJoin;
+                self.broadcast(Control::Precedence(guess, precedence_guard));
+            }
+            JoinDecision::AlreadyAborted { .. } => {
+                if let Some(th) = self.threads.get_mut(&tid) {
+                    th.fork_guess = None;
+                }
+                self.ready.push_back((tid, Resume::JoinSequential));
+            }
+        }
+    }
+
+    fn local_commit(&mut self, g: GuessId) {
+        self.stats.commits += 1;
+        self.broadcast(Control::Commit(g));
+        if let Some(own) = self.core.own.get(&g) {
+            let left = own.left_thread;
+            if let Some(th) = self.threads.get_mut(&left) {
+                th.status = Status::Done;
+                th.fork_guess = None;
+            }
+        }
+        self.flush_buffers();
+    }
+
+    fn on_ctrl(&mut self, ctrl: Control) {
+        self.relay_control(&ctrl);
+        match ctrl {
+            Control::Commit(g) => {
+                let eff = self.core.on_commit(g);
+                for own in eff.own_committed {
+                    self.local_commit(own);
+                }
+                self.flush_buffers();
+                self.try_deliver();
+            }
+            Control::Abort(g) => {
+                let eff = self.core.on_abort(g);
+                self.apply_abort_effects(eff);
+            }
+            Control::Precedence(g, guard) => {
+                let eff = self.core.on_precedence(g, &guard);
+                self.apply_abort_effects(eff);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, guess: GuessId) {
+        let unresolved = self
+            .core
+            .own
+            .get(&guess)
+            .map(|o| {
+                matches!(
+                    o.state,
+                    opcsp_core::OwnGuessState::Pending
+                        | opcsp_core::OwnGuessState::AwaitingResolution
+                )
+            })
+            .unwrap_or(false);
+        if !unresolved {
+            return;
+        }
+        let eff = self.core.on_abort(guess);
+        self.apply_abort_effects(eff);
+    }
+
+    fn apply_abort_effects(&mut self, effects: opcsp_core::AbortEffects) -> Vec<GuessId> {
+        for g in &effects.own_aborted {
+            self.stats.aborts += 1;
+            self.broadcast(Control::Abort(*g));
+        }
+        for tid in &effects.discard_threads {
+            if let Some(mut th) = self.threads.remove(tid) {
+                self.stats.discarded_threads += 1;
+                for (_, env) in th.consumed.drain(..) {
+                    self.pool.push(env);
+                }
+                // Drop any queued work for the dead thread.
+                self.ready.retain(|(t, _)| t != tid);
+            }
+        }
+        for (tid, slot) in &effects.rollback_threads {
+            self.restore_thread(*tid, *slot);
+        }
+        let mut resumed = Vec::new();
+        for g in &effects.rerun_sequential {
+            let left = self.core.own.get(g).map(|o| o.left_thread);
+            if let Some(left) = left {
+                if let Some(th) = self.threads.get_mut(&left) {
+                    th.fork_guess = None;
+                    resumed.push(*g);
+                    self.ready.push_back((left, Resume::JoinSequential));
+                }
+            }
+        }
+        self.purge_pool();
+        self.try_deliver();
+        // Restores can empty guards (resolved guesses are filtered out):
+        // release any buffered external outputs that became safe.
+        self.flush_buffers();
+        resumed
+    }
+
+    fn restore_thread(&mut self, tid: u32, slot: u32) {
+        self.stats.rollbacks += 1;
+        let Some(th) = self.threads.get_mut(&tid) else {
+            return;
+        };
+        let slot = slot as usize;
+        let chk = th.checkpoints[slot].clone();
+        th.checkpoints.truncate(slot);
+        th.state = chk.state;
+        th.status = chk.status;
+        th.call_stack = chk.call_stack;
+        th.fork_guess = chk.fork_guess;
+        th.oblog.truncate(chk.oblog_len);
+        th.out_buf.truncate(chk.out_buf_len);
+        for (_, env) in th.consumed.split_off(chk.consumed_len) {
+            self.pool.push(env);
+        }
+        // Cancel queued work for the rolled-back thread: it is blocked at
+        // its checkpointed receive/call again.
+        self.ready.retain(|(t, _)| *t != tid);
+    }
+
+    fn purge_pool(&mut self) {
+        let mut kept = Vec::with_capacity(self.pool.len());
+        for env in self.pool.drain(..) {
+            match self.core.classify_arrival(&env) {
+                ArrivalVerdict::Orphan(_) => self.stats.orphans += 1,
+                ArrivalVerdict::Ok => kept.push(env),
+            }
+        }
+        self.pool = kept;
+    }
+
+    fn flush_buffers(&mut self) {
+        let mut released = Vec::new();
+        for (tid, th) in self.threads.iter_mut() {
+            let guard_empty = self
+                .core
+                .threads
+                .get(tid)
+                .map(|m| m.guard.is_empty())
+                .unwrap_or(false);
+            if guard_empty && !th.out_buf.is_empty() {
+                released.append(&mut th.out_buf);
+            }
+        }
+        self.external.extend(released);
+    }
+}
+
+/// Convenience: the observable kind of a sent message in logs.
+pub fn obs_kind(k: DataKind) -> ObsKind {
+    k.into()
+}

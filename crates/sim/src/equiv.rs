@@ -1,0 +1,180 @@
+//! Theorem 1 checking: "an optimistic parallelization of a distributed
+//! system will yield the same partial traces as the pessimistic
+//! computation."
+//!
+//! The observable events are the committed messages sent and received by
+//! each process plus its released external outputs, in *logical* order.
+//! Within a process the logical order is the right-branching fork order:
+//! thread 0's events, then thread 1's (its continuation), and so on — which
+//! is exactly how [`crate::engine::SimResult::logs`] concatenates them. The
+//! pessimistic run executes everything on thread 0, giving the reference
+//! sequence.
+
+use crate::engine::{ObsKind, Observable, SimResult};
+use opcsp_core::{ProcessId, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Outcome of comparing an optimistic run against the pessimistic
+/// reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivReport {
+    pub equivalent: bool,
+    pub mismatches: Vec<Mismatch>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    pub process: ProcessId,
+    pub position: usize,
+    pub pessimistic: Option<Observable>,
+    pub optimistic: Option<Observable>,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @{}: pessimistic={:?} optimistic={:?}",
+            self.process, self.position, self.pessimistic, self.optimistic
+        )
+    }
+}
+
+/// Compare the committed observable logs of two runs process by process.
+pub fn check_equivalence(pessimistic: &SimResult, optimistic: &SimResult) -> EquivReport {
+    let mut mismatches = Vec::new();
+    let procs: Vec<ProcessId> = pessimistic
+        .logs
+        .keys()
+        .chain(optimistic.logs.keys())
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for p in procs {
+        let empty = Vec::new();
+        let a = pessimistic.logs.get(&p).unwrap_or(&empty);
+        let b = optimistic.logs.get(&p).unwrap_or(&empty);
+        let n = a.len().max(b.len());
+        for i in 0..n {
+            let ea = a.get(i);
+            let eb = b.get(i);
+            if ea != eb {
+                mismatches.push(Mismatch {
+                    process: p,
+                    position: i,
+                    pessimistic: ea.cloned(),
+                    optimistic: eb.cloned(),
+                });
+            }
+        }
+    }
+    EquivReport {
+        equivalent: mismatches.is_empty(),
+        mismatches,
+    }
+}
+
+/// Message conservation: at quiescence, the committed multiset of sends
+/// from A to B equals the committed multiset of receives at B from A —
+/// no committed message vanishes, none is received twice, and nothing is
+/// received that was never (commitedly) sent. Rollbacks must erase both
+/// sides symmetrically.
+pub fn check_conservation(result: &SimResult) -> Result<(), String> {
+    type Key = (ProcessId, ProcessId, ObsKind, Value);
+    let mut sent: BTreeMap<Key, i64> = BTreeMap::new();
+    for (&p, log) in &result.logs {
+        for ev in log {
+            match ev {
+                Observable::Sent { to, kind, payload } => {
+                    *sent.entry((p, *to, *kind, payload.clone())).or_insert(0) += 1;
+                }
+                Observable::Received {
+                    from,
+                    kind,
+                    payload,
+                } => {
+                    *sent.entry((*from, p, *kind, payload.clone())).or_insert(0) -= 1;
+                }
+                Observable::Output { .. } => {}
+            }
+        }
+    }
+    let imbalance: Vec<String> = sent
+        .iter()
+        .filter(|(_, &c)| c != 0)
+        .map(|((f, t, k, v), c)| format!("{f}→{t} {k:?} {v}: {c:+}"))
+        .collect();
+    if imbalance.is_empty() {
+        Ok(())
+    } else {
+        Err(imbalance.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ObsKind;
+    use opcsp_core::Value;
+    use std::collections::BTreeMap;
+
+    fn result_with_log(log: Vec<Observable>) -> SimResult {
+        let mut logs = BTreeMap::new();
+        logs.insert(ProcessId(0), log);
+        SimResult {
+            completion: 0,
+            process_done: BTreeMap::new(),
+            trace: crate::trace::Trace::default(),
+            external: Vec::new(),
+            logs,
+            unresolved: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn identical_logs_are_equivalent() {
+        let log = vec![
+            Observable::Sent {
+                to: ProcessId(1),
+                kind: ObsKind::Call,
+                payload: Value::Int(1),
+            },
+            Observable::Received {
+                from: ProcessId(1),
+                kind: ObsKind::Return,
+                payload: Value::Bool(true),
+            },
+        ];
+        let a = result_with_log(log.clone());
+        let b = result_with_log(log);
+        assert!(check_equivalence(&a, &b).equivalent);
+    }
+
+    #[test]
+    fn payload_divergence_is_reported() {
+        let a = result_with_log(vec![Observable::Output {
+            payload: Value::Int(1),
+        }]);
+        let b = result_with_log(vec![Observable::Output {
+            payload: Value::Int(2),
+        }]);
+        let rep = check_equivalence(&a, &b);
+        assert!(!rep.equivalent);
+        assert_eq!(rep.mismatches.len(), 1);
+        assert_eq!(rep.mismatches[0].position, 0);
+    }
+
+    #[test]
+    fn length_divergence_is_reported() {
+        let a = result_with_log(vec![Observable::Output {
+            payload: Value::Int(1),
+        }]);
+        let b = result_with_log(vec![]);
+        let rep = check_equivalence(&a, &b);
+        assert!(!rep.equivalent);
+        assert_eq!(rep.mismatches[0].optimistic, None);
+    }
+}

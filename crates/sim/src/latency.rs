@@ -1,0 +1,157 @@
+//! Network latency models for the deterministic simulator.
+//!
+//! The paper's setting is a distributed system where "communication delays
+//! are long relative to the speed of computation" (§1). Latency is the
+//! independent variable of experiments E1/E2 and the *cause* of time faults
+//! (Figure 4 requires X's call to reach Z before Y's). Models are seeded
+//! and deterministic.
+
+use opcsp_core::ProcessId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Deterministic one-way message latency between processes.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Same latency on every link.
+    Fixed(u64),
+    /// Per-link overrides with a default — used to script Figure 4's
+    /// arrival reordering.
+    PerLink {
+        default: u64,
+        links: BTreeMap<(ProcessId, ProcessId), u64>,
+    },
+    /// Uniform jitter in `[base, base + spread]`, drawn from a seeded RNG.
+    Jitter { base: u64, spread: u64, seed: u64 },
+}
+
+impl LatencyModel {
+    pub fn fixed(d: u64) -> LatencyModel {
+        LatencyModel::Fixed(d)
+    }
+
+    pub fn per_link(default: u64) -> PerLinkBuilder {
+        PerLinkBuilder {
+            default,
+            links: BTreeMap::new(),
+        }
+    }
+
+    pub fn jitter(base: u64, spread: u64, seed: u64) -> LatencyModel {
+        LatencyModel::Jitter { base, spread, seed }
+    }
+
+    /// Build the sampler used by one simulation run.
+    pub fn sampler(&self) -> LatencySampler {
+        match self {
+            LatencyModel::Fixed(d) => LatencySampler::Fixed(*d),
+            LatencyModel::PerLink { default, links } => LatencySampler::PerLink {
+                default: *default,
+                links: links.clone(),
+            },
+            LatencyModel::Jitter { base, spread, seed } => LatencySampler::Jitter {
+                base: *base,
+                spread: *spread,
+                rng: Box::new(StdRng::seed_from_u64(*seed)),
+            },
+        }
+    }
+}
+
+/// Builder for per-link latency tables.
+#[derive(Debug, Clone)]
+pub struct PerLinkBuilder {
+    default: u64,
+    links: BTreeMap<(ProcessId, ProcessId), u64>,
+}
+
+impl PerLinkBuilder {
+    /// One-directional link latency override.
+    pub fn link(mut self, from: ProcessId, to: ProcessId, d: u64) -> Self {
+        self.links.insert((from, to), d);
+        self
+    }
+
+    pub fn build(self) -> LatencyModel {
+        LatencyModel::PerLink {
+            default: self.default,
+            links: self.links,
+        }
+    }
+}
+
+/// Stateful sampler (jitter advances an RNG) for one run.
+#[derive(Debug)]
+pub enum LatencySampler {
+    Fixed(u64),
+    PerLink {
+        default: u64,
+        links: BTreeMap<(ProcessId, ProcessId), u64>,
+    },
+    Jitter {
+        base: u64,
+        spread: u64,
+        rng: Box<StdRng>,
+    },
+}
+
+impl LatencySampler {
+    pub fn sample(&mut self, from: ProcessId, to: ProcessId) -> u64 {
+        match self {
+            LatencySampler::Fixed(d) => *d,
+            LatencySampler::PerLink { default, links } => {
+                links.get(&(from, to)).copied().unwrap_or(*default)
+            }
+            LatencySampler::Jitter { base, spread, rng } => {
+                if *spread == 0 {
+                    *base
+                } else {
+                    *base + rng.gen_range(0..=*spread)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut s = LatencyModel::fixed(7).sampler();
+        assert_eq!(s.sample(ProcessId(0), ProcessId(1)), 7);
+        assert_eq!(s.sample(ProcessId(1), ProcessId(0)), 7);
+    }
+
+    #[test]
+    fn per_link_overrides_are_directional() {
+        let m = LatencyModel::per_link(10)
+            .link(ProcessId(0), ProcessId(2), 1)
+            .build();
+        let mut s = m.sampler();
+        assert_eq!(s.sample(ProcessId(0), ProcessId(2)), 1);
+        assert_eq!(s.sample(ProcessId(2), ProcessId(0)), 10);
+        assert_eq!(s.sample(ProcessId(1), ProcessId(2)), 10);
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let m = LatencyModel::jitter(5, 10, 42);
+        let mut a = m.sampler();
+        let mut b = m.sampler();
+        for _ in 0..100 {
+            let va = a.sample(ProcessId(0), ProcessId(1));
+            let vb = b.sample(ProcessId(0), ProcessId(1));
+            assert_eq!(va, vb, "same seed must give same sequence");
+            assert!((5..=15).contains(&va));
+        }
+    }
+
+    #[test]
+    fn jitter_zero_spread_degenerates_to_fixed() {
+        let mut s = LatencyModel::jitter(4, 0, 1).sampler();
+        assert_eq!(s.sample(ProcessId(0), ProcessId(1)), 4);
+    }
+}

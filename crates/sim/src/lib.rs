@@ -1,0 +1,21 @@
+//! # opcsp-sim — deterministic simulator & optimistic execution engine
+//!
+//! Runs systems of communicating sequential processes (as [`Behavior`]
+//! state machines) over a simulated network, either *pessimistically*
+//! (pure sequential semantics — the paper's baseline, Figure 2) or
+//! *optimistically* with the full Bacon–Strom protocol (forks, commit
+//! guards, rollback, COMMIT/ABORT/PRECEDENCE — Figures 3–7).
+
+pub mod audit;
+pub mod behavior;
+pub mod engine;
+pub mod equiv;
+pub mod latency;
+pub mod trace;
+
+pub use audit::{assert_audit_clean, audit_trace, Violation};
+pub use behavior::{reply_label, Behavior, BehaviorState, Effect, FnBehavior, Resume};
+pub use engine::{ObsKind, Observable, SimBuilder, SimConfig, SimResult, World};
+pub use equiv::{check_conservation, check_equivalence, EquivReport};
+pub use latency::{LatencyModel, LatencySampler};
+pub use trace::{SimStats, Trace, TraceEvent, VTime};

@@ -1,0 +1,542 @@
+//! The Time Warp executive: optimistic processing in receive-timestamp
+//! order with rollback, anti-messages, GVT and fossil collection.
+//!
+//! Faithful to Jefferson's scheme at the granularity the §5 comparison
+//! needs: every LP processes its lowest-timestamped unprocessed event as
+//! soon as it is idle (aggressive optimism); a straggler (arrival with
+//! `recv_ts` below the LP's local virtual time) forces a rollback to the
+//! checkpoint before that timestamp and sends anti-messages for the
+//! outputs produced by the undone events; an anti-message annihilates its
+//! positive twin, rolling the receiver back if the twin was already
+//! processed.
+//!
+//! Wall-clock (the cost model) is simulated separately from virtual time:
+//! processing an event costs `proc_cost`, message transit costs a
+//! per-link wall latency. The contrast measured in experiment E6 is that
+//! Time Warp's *total order* forces rollbacks for causally unrelated
+//! stragglers, which the paper's partial-order protocol never does.
+
+use crate::lp::{EventMsg, LogicalProcess, LpId, LpState, OutMsg as LpSend, Vt};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
+
+/// Wall-clock time (cost model), distinct from virtual time.
+pub type Wall = u64;
+
+/// Cancellation strategy for invalidated outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Cancellation {
+    /// Send anti-messages immediately on rollback (Jefferson's original).
+    #[default]
+    Aggressive,
+    /// Hold the invalidated outputs; if re-execution regenerates an
+    /// identical message, cancel it against the held one (no anti-message
+    /// at all); only outputs that re-execution fails to regenerate are
+    /// anti-messaged. Pays off when stragglers rarely change outputs.
+    Lazy,
+}
+
+/// Executive configuration.
+#[derive(Debug, Clone)]
+pub struct TwConfig {
+    /// Wall cost of processing one event.
+    pub proc_cost: Wall,
+    /// Default wall transit latency for messages.
+    pub transit: Wall,
+    /// Per-link overrides (used to create stragglers).
+    pub transit_overrides: BTreeMap<(LpId, LpId), Wall>,
+    /// Anti-message strategy.
+    pub cancellation: Cancellation,
+    /// Safety valve.
+    pub max_events: u64,
+}
+
+impl Default for TwConfig {
+    fn default() -> Self {
+        TwConfig {
+            proc_cost: 1,
+            transit: 10,
+            transit_overrides: BTreeMap::new(),
+            cancellation: Cancellation::Aggressive,
+            max_events: 2_000_000,
+        }
+    }
+}
+
+/// Run statistics — the E6 measurement surface.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TwStats {
+    /// Events processed (including reprocessing after rollbacks).
+    pub processed: u64,
+    /// Events whose processing was undone.
+    pub undone: u64,
+    /// Rollback episodes.
+    pub rollbacks: u64,
+    /// Anti-messages sent.
+    pub anti_messages: u64,
+    /// Annihilations (anti met its twin before processing).
+    pub annihilations: u64,
+    /// Stragglers observed (positive arrivals below LVT).
+    pub stragglers: u64,
+    /// Total messages delivered (positive, non-annihilated).
+    pub messages: u64,
+    /// Lazy cancellation: regenerated outputs matched against held ones
+    /// (no anti-message needed).
+    pub lazy_hits: u64,
+}
+
+/// Result of a run.
+#[derive(Debug)]
+pub struct TwResult {
+    pub completion: Wall,
+    pub stats: TwStats,
+    /// Final LP states for inspection.
+    pub states: BTreeMap<LpId, LpState>,
+    /// Per-LP committed event log: (recv_ts, payload) in processed order.
+    pub logs: BTreeMap<LpId, Vec<(Vt, opcsp_core::Value)>>,
+    pub truncated: bool,
+}
+
+struct LpRuntime {
+    behavior: Arc<dyn LogicalProcess>,
+    state: LpState,
+    lvt: Vt,
+    /// Received positive messages with a processed flag, kept sorted by
+    /// (recv_ts, id).
+    input: Vec<(EventMsg, bool)>,
+    /// Anti-messages that arrived before their twins.
+    pending_anti: Vec<EventMsg>,
+    /// Checkpoints: state saved *before* processing the event at `Vt`.
+    saved: Vec<(Vt, u64, LpState)>,
+    /// Outputs tagged with (virtual time, originating event id).
+    output: Vec<(Vt, u64, EventMsg)>,
+    /// Committed-order log (rewound on rollback): (recv_ts, payload).
+    log: Vec<(Vt, opcsp_core::Value)>,
+    /// Wall time at which the LP is next free.
+    next_free: Wall,
+    /// Generation counter to cancel stale ProcessNext events.
+    generation: u64,
+    /// Lazy cancellation: invalidated outputs awaiting regeneration or a
+    /// definitive divergence, tagged like `output`.
+    held: Vec<(Vt, u64, EventMsg)>,
+}
+
+enum Ev {
+    Arrive(EventMsg),
+    ProcessNext { lp: LpId, generation: u64 },
+}
+
+/// The Time Warp world.
+pub struct TwWorld {
+    cfg: TwConfig,
+    lps: Vec<LpRuntime>,
+    queue: BinaryHeap<Reverse<(Wall, u64, u64)>>,
+    payloads: BTreeMap<u64, Ev>,
+    seq: u64,
+    next_msg: u64,
+    now: Wall,
+    stats: TwStats,
+    last_activity: Wall,
+    events_handled: u64,
+}
+
+impl TwWorld {
+    pub fn new(cfg: TwConfig, behaviors: Vec<Arc<dyn LogicalProcess>>) -> Self {
+        let mut w = TwWorld {
+            cfg,
+            lps: Vec::new(),
+            queue: BinaryHeap::new(),
+            payloads: BTreeMap::new(),
+            seq: 0,
+            next_msg: 0,
+            now: 0,
+            stats: TwStats::default(),
+            last_activity: 0,
+            events_handled: 0,
+        };
+        for b in behaviors {
+            w.lps.push(LpRuntime {
+                state: b.init(),
+                behavior: b,
+                lvt: 0,
+                input: Vec::new(),
+                pending_anti: Vec::new(),
+                saved: Vec::new(),
+                output: Vec::new(),
+                log: Vec::new(),
+                next_free: 0,
+                generation: 0,
+                held: Vec::new(),
+            });
+        }
+        // Seed initial events.
+        for i in 0..w.lps.len() {
+            let me = LpId(i as u32);
+            let behavior = w.lps[i].behavior.clone();
+            for s in behavior.initial_events(me) {
+                w.emit(me, 0, u64::MAX, s);
+            }
+        }
+        w
+    }
+
+    fn schedule(&mut self, t: Wall, ev: Ev) {
+        let key = self.seq;
+        self.seq += 1;
+        self.payloads.insert(key, ev);
+        self.queue.push(Reverse((t, key, key)));
+    }
+
+    fn transit(&self, from: LpId, to: LpId) -> Wall {
+        self.cfg
+            .transit_overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.cfg.transit)
+    }
+
+    /// Send a positive message produced by `from` at virtual time `vt`
+    /// while processing event `eid`. Under lazy cancellation, a
+    /// regenerated message identical to a held (invalidated-but-
+    /// uncancelled) one from the same event is matched against it: the
+    /// original stays valid at the receiver and nothing is sent.
+    fn emit(&mut self, from: LpId, vt: Vt, eid: u64, s: LpSend) {
+        let recv_ts = s.recv_ts.max(vt + 1);
+        if self.cfg.cancellation == Cancellation::Lazy {
+            let lp = &mut self.lps[from.0 as usize];
+            if let Some(pos) = lp.held.iter().position(|(_, heid, m)| {
+                *heid == eid && m.to == s.to && m.recv_ts == recv_ts && m.payload == s.payload
+            }) {
+                let (hvt, heid, m) = lp.held.remove(pos);
+                lp.output.push((hvt, heid, m));
+                self.stats.lazy_hits += 1;
+                return;
+            }
+        }
+        let msg = EventMsg {
+            id: self.next_msg,
+            from,
+            to: s.to,
+            send_ts: vt,
+            recv_ts,
+            payload: s.payload,
+            anti: false,
+        };
+        self.next_msg += 1;
+        self.lps[from.0 as usize]
+            .output
+            .push((vt, eid, msg.clone()));
+        let d = self.transit(from, s.to);
+        let at = self.now + d;
+        self.schedule(at, Ev::Arrive(msg));
+    }
+
+    /// Run to quiescence. Under lazy cancellation, outputs still held when
+    /// the queue drains are definitively divergent (their originating
+    /// events were annihilated or never reprocessed): anti-message them
+    /// and keep running until true quiescence.
+    pub fn run(mut self) -> TwResult {
+        let mut truncated = false;
+        loop {
+            while let Some(Reverse((t, key, _))) = self.queue.pop() {
+                self.events_handled += 1;
+                if self.events_handled > self.cfg.max_events {
+                    truncated = true;
+                    break;
+                }
+                self.now = t;
+                match self.payloads.remove(&key).expect("payload") {
+                    Ev::Arrive(msg) => self.handle_arrival(msg),
+                    Ev::ProcessNext { lp, generation } => self.process_next(lp, generation),
+                }
+            }
+            if truncated || !self.drain_all_holds() {
+                break;
+            }
+        }
+        let mut states = BTreeMap::new();
+        let mut logs = BTreeMap::new();
+        for (i, lp) in self.lps.into_iter().enumerate() {
+            states.insert(LpId(i as u32), lp.state);
+            logs.insert(LpId(i as u32), lp.log);
+        }
+        TwResult {
+            completion: self.last_activity,
+            stats: self.stats,
+            states,
+            logs,
+            truncated,
+        }
+    }
+
+    fn handle_arrival(&mut self, msg: EventMsg) {
+        self.last_activity = self.now;
+        let lp_idx = msg.to.0 as usize;
+        if msg.anti {
+            // Annihilate the positive twin.
+            let lp = &mut self.lps[lp_idx];
+            if let Some(pos) = lp.input.iter().position(|(m, _)| m.annihilates(&msg)) {
+                let (_, processed) = lp.input[pos];
+                let ts = lp.input[pos].0.recv_ts;
+                lp.input.remove(pos);
+                self.stats.annihilations += 1;
+                if processed {
+                    // The twin's effects must be undone.
+                    self.rollback(msg.to, ts);
+                }
+                self.kick(msg.to);
+            } else {
+                // Anti overtook its twin: stash it.
+                self.lps[lp_idx].pending_anti.push(msg);
+            }
+            return;
+        }
+        // Positive message: check the anti buffer first.
+        {
+            let lp = &mut self.lps[lp_idx];
+            if let Some(pos) = lp.pending_anti.iter().position(|a| a.annihilates(&msg)) {
+                lp.pending_anti.remove(pos);
+                self.stats.annihilations += 1;
+                return;
+            }
+        }
+        self.stats.messages += 1;
+        let straggler = msg.recv_ts < self.lps[lp_idx].lvt;
+        let ts = msg.recv_ts;
+        let lp = &mut self.lps[lp_idx];
+        lp.input.push((msg, false));
+        lp.input.sort_by_key(|(m, _)| (m.recv_ts, m.id));
+        if straggler {
+            self.stats.stragglers += 1;
+            self.rollback(LpId(lp_idx as u32), ts);
+        }
+        self.kick(LpId(lp_idx as u32));
+    }
+
+    /// Schedule a ProcessNext if the LP has unprocessed work.
+    fn kick(&mut self, id: LpId) {
+        let lp = &mut self.lps[id.0 as usize];
+        if lp.input.iter().any(|(_, done)| !done) {
+            lp.generation += 1;
+            let generation = lp.generation;
+            let at = self.now.max(lp.next_free);
+            self.schedule(at, Ev::ProcessNext { lp: id, generation });
+        }
+    }
+
+    fn process_next(&mut self, id: LpId, generation: u64) {
+        let lp_idx = id.0 as usize;
+        {
+            let lp = &self.lps[lp_idx];
+            if lp.generation != generation {
+                return; // superseded
+            }
+        }
+        // Lowest unprocessed event.
+        let pos = {
+            let lp = &self.lps[lp_idx];
+            lp.input.iter().position(|(_, done)| !done)
+        };
+        let Some(pos) = pos else { return };
+        self.last_activity = self.now;
+        let ev = self.lps[lp_idx].input[pos].0.clone();
+        // Checkpoint before processing (state queue).
+        {
+            let lp = &mut self.lps[lp_idx];
+            let snapshot = lp.state.clone();
+            lp.saved.push((ev.recv_ts, ev.id, snapshot));
+        }
+        let behavior = self.lps[lp_idx].behavior.clone();
+        let outs = {
+            let lp = &mut self.lps[lp_idx];
+            let outs = behavior.on_event(&mut lp.state, &ev);
+            lp.lvt = ev.recv_ts;
+            lp.input[pos].1 = true;
+            lp.log.push((ev.recv_ts, ev.payload.clone()));
+            lp.next_free = self.now + self.cfg.proc_cost;
+            outs
+        };
+        self.stats.processed += 1;
+        let vt = self.lps[lp_idx].lvt;
+        let eid = ev.id;
+        for s in outs {
+            self.emit(id, vt, eid, s);
+        }
+        self.flush_diverged_holds(id, eid);
+        // Continue with further work when free.
+        let lp = &mut self.lps[lp_idx];
+        if lp.input.iter().any(|(_, done)| !done) {
+            lp.generation += 1;
+            let generation = lp.generation;
+            let at = lp.next_free;
+            self.schedule(at, Ev::ProcessNext { lp: id, generation });
+        }
+    }
+
+    /// Roll `id` back so every processed event with `recv_ts >= ts` is
+    /// undone: restore the checkpoint, un-process inputs, send
+    /// anti-messages for invalidated outputs.
+    fn rollback(&mut self, id: LpId, ts: Vt) {
+        let lp_idx = id.0 as usize;
+        self.stats.rollbacks += 1;
+        // Earliest checkpoint at or after ts.
+        let cut = {
+            let lp = &self.lps[lp_idx];
+            lp.saved.iter().position(|(t, _, _)| *t >= ts)
+        };
+        let Some(cut) = cut else {
+            return; // nothing processed at or after ts
+        };
+        let anti_to_send: Vec<EventMsg> = {
+            let lp = &mut self.lps[lp_idx];
+            let (restore_ts, restore_id, snapshot) = lp.saved[cut].clone();
+            lp.state = snapshot;
+            lp.saved.truncate(cut);
+            lp.lvt = lp.saved.last().map(|(t, _, _)| *t).unwrap_or(0);
+            // Un-process the undone inputs.
+            let mut undone = 0;
+            for (m, done) in lp.input.iter_mut() {
+                if *done && (m.recv_ts, m.id) >= (restore_ts, restore_id) {
+                    *done = false;
+                    undone += 1;
+                }
+            }
+            self.stats.undone += undone;
+            // Rewind the committed log.
+            let keep = lp.log.iter().take_while(|(t, _)| *t < ts).count();
+            lp.log.truncate(keep);
+            // Outputs produced at or after ts are invalid. Aggressive:
+            // anti-message them now. Lazy: hold them, betting that
+            // re-execution will regenerate identical messages.
+            let lazy = self.cfg.cancellation == Cancellation::Lazy;
+            let mut anti = Vec::new();
+            let mut held = Vec::new();
+            lp.output.retain(|(out_vt, eid, m)| {
+                if *out_vt >= ts {
+                    if lazy {
+                        held.push((*out_vt, *eid, m.clone()));
+                    } else {
+                        let mut a = m.clone();
+                        a.anti = true;
+                        anti.push(a);
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            lp.held.extend(held);
+            lp.generation += 1; // cancel in-flight processing
+            anti
+        };
+        for a in anti_to_send {
+            self.stats.anti_messages += 1;
+            let d = self.transit(id, a.to);
+            let at = self.now + d;
+            self.schedule(at, Ev::Arrive(a));
+        }
+        self.kick(id);
+    }
+
+    /// Lazy cancellation: after re-processing event `eid`, any still-held
+    /// outputs from that same event were not regenerated — definitively
+    /// divergent. Held outputs whose send time has been passed by the
+    /// LP's virtual time are divergent too.
+    fn flush_diverged_holds(&mut self, id: LpId, eid: u64) {
+        if self.cfg.cancellation != Cancellation::Lazy {
+            return;
+        }
+        let lvt = self.lps[id.0 as usize].lvt;
+        let mut anti = Vec::new();
+        self.lps[id.0 as usize].held.retain(|(vt, heid, m)| {
+            if *heid == eid || *vt < lvt {
+                let mut a = m.clone();
+                a.anti = true;
+                anti.push(a);
+                false
+            } else {
+                true
+            }
+        });
+        for a in anti {
+            self.stats.anti_messages += 1;
+            let d = self.transit(id, a.to);
+            let at = self.now + d;
+            self.schedule(at, Ev::Arrive(a));
+        }
+    }
+
+    /// End-of-run drain for lazy cancellation: anti-message every output
+    /// still held anywhere. Returns true if anything was scheduled.
+    fn drain_all_holds(&mut self) -> bool {
+        if self.cfg.cancellation != Cancellation::Lazy {
+            return false;
+        }
+        let mut scheduled = false;
+        for i in 0..self.lps.len() {
+            let id = LpId(i as u32);
+            let held: Vec<_> = self.lps[i].held.drain(..).collect();
+            for (_, _, m) in held {
+                let mut a = m;
+                a.anti = true;
+                self.stats.anti_messages += 1;
+                let d = self.transit(id, a.to);
+                let at = self.now + d;
+                self.schedule(at, Ev::Arrive(a));
+                scheduled = true;
+            }
+        }
+        scheduled
+    }
+
+    /// Global virtual time: the minimum of every LP's LVT and of every
+    /// unprocessed/in-flight message timestamp. Events below GVT are
+    /// stable; used by fossil collection.
+    pub fn gvt(&self) -> Vt {
+        let mut g = Vt::MAX;
+        for lp in &self.lps {
+            for (m, done) in &lp.input {
+                if !done {
+                    g = g.min(m.recv_ts);
+                }
+            }
+        }
+        for ev in self.payloads.values() {
+            if let Ev::Arrive(m) = ev {
+                g = g.min(m.recv_ts);
+            }
+        }
+        if g == Vt::MAX {
+            g = self.lps.iter().map(|l| l.lvt).max().unwrap_or(0);
+        }
+        g
+    }
+
+    /// Fossil collection: discard checkpoints, processed inputs and output
+    /// records strictly below `gvt` (no rollback can ever reach them).
+    pub fn fossil_collect(&mut self, gvt: Vt) {
+        for lp in &mut self.lps {
+            // Keep at least one checkpoint at or below gvt as the restore
+            // base for a rollback exactly to gvt.
+            let keep_from = lp.saved.iter().rposition(|(t, _, _)| *t < gvt).unwrap_or(0);
+            lp.saved.drain(..keep_from);
+            lp.input.retain(|(m, done)| !done || m.recv_ts >= gvt);
+            lp.output.retain(|(vt, _, _)| *vt >= gvt);
+        }
+    }
+
+    /// Total retained memory objects (checkpoint + queue entries) — used
+    /// by the fossil-collection test.
+    pub fn retained(&self) -> usize {
+        self.lps
+            .iter()
+            .map(|l| l.saved.len() + l.input.len() + l.output.len())
+            .sum()
+    }
+}
+
+/// Convenience: build and run a world.
+pub fn run(cfg: TwConfig, behaviors: Vec<Arc<dyn LogicalProcess>>) -> TwResult {
+    TwWorld::new(cfg, behaviors).run()
+}

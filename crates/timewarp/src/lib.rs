@@ -1,0 +1,20 @@
+//! # opcsp-timewarp — a Time Warp baseline (§5 related work)
+//!
+//! Jefferson's Time Warp imposes a single totally ordered virtual time on
+//! the whole system; the paper argues (§5) that for distributed systems of
+//! independently developed processes a *partial* order — discovered
+//! dynamically from communication — is the right model, because a total
+//! order forces rollbacks for causally unrelated stragglers.
+//!
+//! This crate implements a classic Time Warp executive (state queues,
+//! input/output queues, anti-messages, GVT, fossil collection) over the
+//! same cost model as `opcsp-sim`, plus the two-client contention workload
+//! that experiment E6 uses to quantify the difference.
+
+pub mod engine;
+pub mod lp;
+pub mod workloads;
+
+pub use engine::{run, Cancellation, TwConfig, TwResult, TwStats, TwWorld, Wall};
+pub use lp::{EventMsg, LogicalProcess, LpId, LpState, OutMsg, Vt};
+pub use workloads::{run_two_clients, server_log, TwClient, TwServer, TwoClientOpts};

@@ -1,0 +1,165 @@
+//! Logical processes for the Time Warp baseline (§5 related work).
+//!
+//! Jefferson's Time Warp \[4\] imposes a single, totally ordered *global
+//! virtual time*: every event carries a send time and a receive time
+//! assigned by the application, and each logical process must handle its
+//! events in receive-timestamp order, rolling back when a straggler
+//! arrives. This crate implements that executive so the paper's §5
+//! comparison — partial-order optimism vs. total-order optimism — can be
+//! measured on identical workloads.
+
+use opcsp_core::Value;
+use std::any::Any;
+use std::fmt;
+
+/// Virtual (simulation) time — the application-assigned total order.
+pub type Vt = u64;
+
+/// Logical-process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LpId(pub u32);
+
+impl fmt::Display for LpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LP{}", self.0)
+    }
+}
+
+/// A timestamped event message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventMsg {
+    pub id: u64,
+    pub from: LpId,
+    pub to: LpId,
+    /// Virtual time at which it was sent.
+    pub send_ts: Vt,
+    /// Virtual time at which it must be processed by the receiver.
+    pub recv_ts: Vt,
+    pub payload: Value,
+    /// Anti-message flag (annihilates its positive twin on arrival).
+    pub anti: bool,
+}
+
+impl EventMsg {
+    /// The annihilation partner test: same id, opposite signs.
+    pub fn annihilates(&self, other: &EventMsg) -> bool {
+        self.id == other.id && self.anti != other.anti
+    }
+}
+
+/// An outgoing message requested by an LP handler: the executive fills in
+/// identity and sign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutMsg {
+    pub to: LpId,
+    /// Receive timestamp must exceed the sender's current virtual time.
+    pub recv_ts: Vt,
+    pub payload: Value,
+}
+
+/// Cloneable dynamic LP state (same pattern as `opcsp_sim::BehaviorState`).
+pub struct LpState(Box<dyn StateClone>);
+
+trait StateClone: Any + std::marker::Send {
+    fn clone_box(&self) -> Box<dyn StateClone>;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any + Clone + std::marker::Send> StateClone for T {
+    fn clone_box(&self) -> Box<dyn StateClone> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl LpState {
+    pub fn new<T: Any + Clone + std::marker::Send>(v: T) -> Self {
+        LpState(Box::new(v))
+    }
+
+    pub fn get<T: Any>(&self) -> &T {
+        self.0
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("LP state type mismatch")
+    }
+
+    pub fn get_mut<T: Any>(&mut self) -> &mut T {
+        self.0
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("LP state type mismatch")
+    }
+}
+
+impl Clone for LpState {
+    fn clone(&self) -> Self {
+        LpState(self.0.clone_box())
+    }
+}
+
+impl fmt::Debug for LpState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("LpState(..)")
+    }
+}
+
+/// A Time Warp logical process: a deterministic event handler over
+/// cloneable state.
+pub trait LogicalProcess: Send + Sync {
+    fn init(&self) -> LpState;
+
+    /// Handle one event at its receive timestamp; return messages to send.
+    fn on_event(&self, state: &mut LpState, ev: &EventMsg) -> Vec<OutMsg>;
+
+    /// Events this LP schedules for itself at startup (workload sources).
+    fn initial_events(&self, me: LpId) -> Vec<OutMsg> {
+        let _ = me;
+        Vec::new()
+    }
+
+    fn name(&self) -> &str {
+        "lp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_state_round_trip_and_clone() {
+        let mut st = LpState::new(5u64);
+        *st.get_mut::<u64>() += 1;
+        let c = st.clone();
+        *st.get_mut::<u64>() += 1;
+        assert_eq!(*st.get::<u64>(), 7);
+        assert_eq!(*c.get::<u64>(), 6);
+    }
+
+    #[test]
+    fn annihilation_requires_same_id_opposite_sign() {
+        let m = EventMsg {
+            id: 9,
+            from: LpId(0),
+            to: LpId(1),
+            send_ts: 1,
+            recv_ts: 2,
+            payload: Value::Unit,
+            anti: false,
+        };
+        let mut a = m.clone();
+        a.anti = true;
+        assert!(m.annihilates(&a));
+        assert!(!m.annihilates(&m.clone()));
+        let mut other = a.clone();
+        other.id = 10;
+        assert!(!m.annihilates(&other));
+    }
+}

@@ -1,0 +1,236 @@
+//! Workloads for the Time Warp baseline, mirroring the §5 argument:
+//! "if two clients call a server then the server must process the calls
+//! in the total order ... In a distributed or loosely coupled parallel
+//! system ... it is not feasible to impose a total ordering upon the
+//! computations."
+//!
+//! The two-client/one-server workload assigns ParaTran-style timestamps
+//! (each client's k-th request at virtual time `base + k·think`). A wall
+//! -clock skew on one client's link turns its requests into stragglers at
+//! the server, forcing rollbacks of the other client's already-processed
+//! (causally unrelated!) work.
+
+use crate::engine::{Cancellation, TwConfig, TwResult, TwWorld, Wall};
+use crate::lp::{EventMsg, LogicalProcess, LpId, LpState, OutMsg, Vt};
+use opcsp_core::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A client that pre-schedules `n` requests to `server`, the k-th at
+/// virtual time `base + k·think`.
+pub struct TwClient {
+    pub name: String,
+    pub server: LpId,
+    pub n: u32,
+    pub base: Vt,
+    pub think: Vt,
+}
+
+impl LogicalProcess for TwClient {
+    fn init(&self) -> LpState {
+        LpState::new(0u32)
+    }
+
+    fn on_event(&self, _state: &mut LpState, _ev: &EventMsg) -> Vec<OutMsg> {
+        // Replies are absorbed.
+        Vec::new()
+    }
+
+    fn initial_events(&self, me: LpId) -> Vec<OutMsg> {
+        let _ = me;
+        (0..self.n)
+            .map(|k| OutMsg {
+                to: self.server,
+                recv_ts: self.base + (k as Vt) * self.think,
+                payload: Value::record([
+                    ("client".to_string(), Value::str(self.name.clone())),
+                    ("k".to_string(), Value::Int(k as i64)),
+                ]),
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A server that appends every request to its log state and replies.
+pub struct TwServer {
+    pub reply_to_clients: bool,
+}
+
+#[derive(Clone, Default)]
+pub struct ServerLog {
+    pub entries: Vec<Value>,
+}
+
+impl LogicalProcess for TwServer {
+    fn init(&self) -> LpState {
+        LpState::new(ServerLog::default())
+    }
+
+    fn on_event(&self, state: &mut LpState, ev: &EventMsg) -> Vec<OutMsg> {
+        state
+            .get_mut::<ServerLog>()
+            .entries
+            .push(ev.payload.clone());
+        if self.reply_to_clients {
+            vec![OutMsg {
+                to: ev.from,
+                recv_ts: ev.recv_ts + 1,
+                payload: Value::Bool(true),
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn name(&self) -> &str {
+        "server"
+    }
+}
+
+/// Parameters of the two-client contention workload (experiment E6).
+#[derive(Debug, Clone)]
+pub struct TwoClientOpts {
+    pub n_per_client: u32,
+    /// Virtual think time between a client's requests.
+    pub think: Vt,
+    /// Wall transit latency (both links, before skew).
+    pub transit: Wall,
+    /// Extra wall latency on client A's link — creates stragglers.
+    pub skew: Wall,
+    pub reply: bool,
+    /// Anti-message strategy.
+    pub cancellation: Cancellation,
+}
+
+impl Default for TwoClientOpts {
+    fn default() -> Self {
+        TwoClientOpts {
+            n_per_client: 8,
+            think: 10,
+            transit: 20,
+            skew: 0,
+            reply: true,
+            cancellation: Cancellation::Aggressive,
+        }
+    }
+}
+
+/// LP ids used by the workload.
+pub const CLIENT_A: LpId = LpId(0);
+pub const CLIENT_B: LpId = LpId(1);
+pub const SERVER: LpId = LpId(2);
+
+/// Build and run the two-client workload under Time Warp.
+pub fn run_two_clients(opts: TwoClientOpts) -> TwResult {
+    let mut overrides = BTreeMap::new();
+    if opts.skew > 0 {
+        overrides.insert((CLIENT_A, SERVER), opts.transit + opts.skew);
+    }
+    let cfg = TwConfig {
+        transit: opts.transit,
+        transit_overrides: overrides,
+        cancellation: opts.cancellation,
+        ..TwConfig::default()
+    };
+    // Interleaved virtual times: A at even slots, B at odd.
+    let behaviors: Vec<Arc<dyn LogicalProcess>> = vec![
+        Arc::new(TwClient {
+            name: "A".into(),
+            server: SERVER,
+            n: opts.n_per_client,
+            base: 1,
+            think: opts.think,
+        }),
+        Arc::new(TwClient {
+            name: "B".into(),
+            server: SERVER,
+            n: opts.n_per_client,
+            base: 1 + opts.think / 2,
+            think: opts.think,
+        }),
+        Arc::new(TwServer {
+            reply_to_clients: opts.reply,
+        }),
+    ];
+    TwWorld::new(cfg, behaviors).run()
+}
+
+/// The server's final committed log (request payloads in virtual-time
+/// order) — used to check Time Warp's determinism under any skew.
+pub fn server_log(result: &TwResult) -> Vec<Value> {
+    result.states[&SERVER].get::<ServerLog>().entries.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_skew_no_rollbacks() {
+        let r = run_two_clients(TwoClientOpts::default());
+        assert!(!r.truncated);
+        assert_eq!(r.stats.rollbacks, 0);
+        assert_eq!(r.stats.stragglers, 0);
+        assert_eq!(server_log(&r).len(), 16);
+    }
+
+    #[test]
+    fn skew_forces_rollbacks_of_unrelated_work() {
+        let r = run_two_clients(TwoClientOpts {
+            skew: 300,
+            ..TwoClientOpts::default()
+        });
+        assert!(!r.truncated);
+        assert!(r.stats.stragglers > 0, "skewed link must create stragglers");
+        assert!(r.stats.rollbacks > 0);
+        assert!(
+            r.stats.anti_messages > 0,
+            "undone replies need anti-messages"
+        );
+        assert_eq!(
+            server_log(&r).len(),
+            16,
+            "all requests processed exactly once"
+        );
+    }
+
+    #[test]
+    fn final_server_log_is_identical_regardless_of_skew() {
+        // Time Warp's whole point: the total order is enforced, so the
+        // committed log is the same whatever the wall-clock skew — at the
+        // cost of the rollbacks counted above.
+        let a = server_log(&run_two_clients(TwoClientOpts::default()));
+        let b = server_log(&run_two_clients(TwoClientOpts {
+            skew: 300,
+            ..TwoClientOpts::default()
+        }));
+        let c = server_log(&run_two_clients(TwoClientOpts {
+            skew: 77,
+            ..TwoClientOpts::default()
+        }));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn rollbacks_grow_with_skew() {
+        let mut prev = 0;
+        for skew in [0u64, 100, 400] {
+            let r = run_two_clients(TwoClientOpts {
+                skew,
+                ..TwoClientOpts::default()
+            });
+            assert!(
+                r.stats.rollbacks >= prev,
+                "skew {skew}: rollbacks {} < previous {prev}",
+                r.stats.rollbacks
+            );
+            prev = r.stats.rollbacks;
+        }
+        assert!(prev > 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Behavioral tests of the Time Warp executive itself: rollback depth,
+//! anti-message overtaking, GVT and fossil collection.
+
+use opcsp_core::Value;
+use opcsp_timewarp::{EventMsg, LogicalProcess, LpId, LpState, OutMsg, TwConfig, TwWorld};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An LP that forwards each event to a peer one virtual tick later.
+struct Forwarder {
+    peer: Option<LpId>,
+}
+
+impl LogicalProcess for Forwarder {
+    fn init(&self) -> LpState {
+        LpState::new(Vec::<u64>::new())
+    }
+
+    fn on_event(&self, state: &mut LpState, ev: &EventMsg) -> Vec<OutMsg> {
+        state.get_mut::<Vec<u64>>().push(ev.recv_ts);
+        match self.peer {
+            Some(p) => vec![OutMsg {
+                to: p,
+                recv_ts: ev.recv_ts + 1,
+                payload: ev.payload.clone(),
+            }],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// A source that pre-schedules events at given (virtual ts) values.
+struct Source {
+    to: LpId,
+    times: Vec<u64>,
+}
+
+impl LogicalProcess for Source {
+    fn init(&self) -> LpState {
+        LpState::new(())
+    }
+
+    fn on_event(&self, _s: &mut LpState, _e: &EventMsg) -> Vec<OutMsg> {
+        Vec::new()
+    }
+
+    fn initial_events(&self, _me: LpId) -> Vec<OutMsg> {
+        self.times
+            .iter()
+            .map(|&t| OutMsg {
+                to: self.to,
+                recv_ts: t,
+                payload: Value::Int(t as i64),
+            })
+            .collect()
+    }
+}
+
+fn cfg_with_override(from: LpId, to: LpId, d: u64) -> TwConfig {
+    let mut overrides = BTreeMap::new();
+    overrides.insert((from, to), d);
+    TwConfig {
+        transit: 10,
+        transit_overrides: overrides,
+        ..TwConfig::default()
+    }
+}
+
+#[test]
+fn in_order_arrivals_never_roll_back() {
+    let behaviors: Vec<Arc<dyn LogicalProcess>> = vec![
+        Arc::new(Source {
+            to: LpId(1),
+            times: vec![1, 2, 3, 4],
+        }),
+        Arc::new(Forwarder { peer: None }),
+    ];
+    let r = TwWorld::new(TwConfig::default(), behaviors).run();
+    assert_eq!(r.stats.rollbacks, 0);
+    assert_eq!(r.stats.processed, 4);
+    assert_eq!(r.states[&LpId(1)].get::<Vec<u64>>(), &vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn straggler_rolls_back_and_reprocesses_in_order() {
+    // Two sources: the virtually-earlier events (1..=3 from LP0) arrive
+    // *later* in wall time than LP1's (5..=7).
+    let behaviors: Vec<Arc<dyn LogicalProcess>> = vec![
+        Arc::new(Source {
+            to: LpId(2),
+            times: vec![1, 2, 3],
+        }),
+        Arc::new(Source {
+            to: LpId(2),
+            times: vec![5, 6, 7],
+        }),
+        Arc::new(Forwarder { peer: None }),
+    ];
+    let r = TwWorld::new(cfg_with_override(LpId(0), LpId(2), 500), behaviors).run();
+    assert!(r.stats.stragglers > 0);
+    assert!(r.stats.rollbacks > 0);
+    assert!(r.stats.undone > 0);
+    // Despite wall reordering, the final log is in virtual-time order.
+    assert_eq!(
+        r.states[&LpId(2)].get::<Vec<u64>>(),
+        &vec![1, 2, 3, 5, 6, 7]
+    );
+    // Work was wasted: more processing than events.
+    assert!(r.stats.processed > 6);
+}
+
+#[test]
+fn rollback_cascades_through_anti_messages() {
+    // LP1 forwards to LP2. LP1's straggler undoes sends already processed
+    // by LP2 → anti-messages → LP2 rolls back too.
+    let behaviors: Vec<Arc<dyn LogicalProcess>> = vec![
+        Arc::new(Source {
+            to: LpId(1),
+            times: vec![10, 20],
+        }),
+        Arc::new(Forwarder {
+            peer: Some(LpId(3)),
+        }),
+        Arc::new(Source {
+            to: LpId(1),
+            times: vec![5],
+        }), // straggler source
+        Arc::new(Forwarder { peer: None }),
+    ];
+    let mut overrides = BTreeMap::new();
+    overrides.insert((LpId(2), LpId(1)), 400u64); // delay the ts=5 event
+    let cfg = TwConfig {
+        transit: 10,
+        transit_overrides: overrides,
+        ..TwConfig::default()
+    };
+    let r = TwWorld::new(cfg, behaviors).run();
+    assert!(r.stats.anti_messages > 0, "{:?}", r.stats);
+    // LP3's final log: forwarded events at 11, 21 plus straggler at 6 — in
+    // virtual order.
+    assert_eq!(r.states[&LpId(3)].get::<Vec<u64>>(), &vec![6, 11, 21]);
+    // LP1's log ends in order.
+    assert_eq!(r.states[&LpId(1)].get::<Vec<u64>>(), &vec![5, 10, 20]);
+}
+
+#[test]
+fn gvt_and_fossil_collection_bound_memory() {
+    let behaviors: Vec<Arc<dyn LogicalProcess>> = vec![
+        Arc::new(Source {
+            to: LpId(1),
+            times: (1..=50).collect(),
+        }),
+        Arc::new(Forwarder { peer: None }),
+    ];
+    let mut w = TwWorld::new(TwConfig::default(), behaviors);
+    // Drain the world manually? The public API runs to completion; build a
+    // second world to sample GVT before running.
+    let g0 = w.gvt();
+    assert!(g0 <= 1, "before any processing, GVT is at the first event");
+    let before = w.retained();
+    w.fossil_collect(0);
+    assert_eq!(
+        w.retained(),
+        before,
+        "fossil collect below GVT=0 is a no-op"
+    );
+    let r = w.run();
+    assert_eq!(r.stats.processed, 50);
+}
+
+#[test]
+fn fossil_collection_after_progress_discards_history() {
+    let behaviors: Vec<Arc<dyn LogicalProcess>> = vec![
+        Arc::new(Source {
+            to: LpId(1),
+            times: (1..=20).collect(),
+        }),
+        Arc::new(Forwarder { peer: None }),
+    ];
+    // Fossil-collecting periodically is the engine user's job; here we
+    // exercise the primitive directly on a populated world.
+    let mut w = TwWorld::new(TwConfig::default(), behaviors);
+    let before = w.retained();
+    assert!(before > 0);
+    w.fossil_collect(u64::MAX);
+    assert!(
+        w.retained() < before,
+        "collection must discard input queue fossils"
+    );
+}
+
+#[test]
+fn deterministic_given_same_config() {
+    let mk = || -> Vec<Arc<dyn LogicalProcess>> {
+        vec![
+            Arc::new(Source {
+                to: LpId(2),
+                times: vec![1, 4, 9],
+            }),
+            Arc::new(Source {
+                to: LpId(2),
+                times: vec![2, 3, 8],
+            }),
+            Arc::new(Forwarder { peer: None }),
+        ]
+    };
+    let a = TwWorld::new(cfg_with_override(LpId(0), LpId(2), 123), mk()).run();
+    let b = TwWorld::new(cfg_with_override(LpId(0), LpId(2), 123), mk()).run();
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.completion, b.completion);
+    assert_eq!(
+        a.states[&LpId(2)].get::<Vec<u64>>(),
+        b.states[&LpId(2)].get::<Vec<u64>>()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Lazy cancellation
+// ---------------------------------------------------------------------
+
+mod lazy {
+    use super::*;
+    use opcsp_timewarp::Cancellation;
+
+    /// A forwarder whose output depends only on the event payload — a
+    /// straggler that doesn't change earlier payloads regenerates
+    /// identical messages, so lazy cancellation sends no anti-messages.
+    #[test]
+    fn lazy_avoids_anti_messages_when_outputs_unchanged() {
+        let mk = |cancellation| {
+            let behaviors: Vec<Arc<dyn LogicalProcess>> = vec![
+                Arc::new(Source {
+                    to: LpId(2),
+                    times: vec![10, 20, 30],
+                }),
+                Arc::new(Source {
+                    to: LpId(2),
+                    times: vec![5],
+                }), // straggler
+                Arc::new(Forwarder {
+                    peer: Some(LpId(3)),
+                }),
+                Arc::new(Forwarder { peer: None }),
+            ];
+            let mut overrides = BTreeMap::new();
+            overrides.insert((LpId(1), LpId(2)), 500u64);
+            let cfg = TwConfig {
+                transit: 10,
+                transit_overrides: overrides,
+                cancellation,
+                ..TwConfig::default()
+            };
+            TwWorld::new(cfg, behaviors).run()
+        };
+        let aggressive = mk(Cancellation::Aggressive);
+        let lazy = mk(Cancellation::Lazy);
+        assert!(aggressive.stats.rollbacks > 0);
+        assert!(lazy.stats.rollbacks > 0);
+        // The forwarder regenerates identical outputs for ts 10/20/30, so
+        // lazy sends no anti-messages for them while aggressive does.
+        assert!(aggressive.stats.anti_messages > 0);
+        assert!(
+            lazy.stats.anti_messages < aggressive.stats.anti_messages,
+            "lazy {} vs aggressive {}",
+            lazy.stats.anti_messages,
+            aggressive.stats.anti_messages
+        );
+        assert!(lazy.stats.lazy_hits > 0);
+        // Final state identical either way.
+        assert_eq!(
+            aggressive.states[&LpId(3)].get::<Vec<u64>>(),
+            lazy.states[&LpId(3)].get::<Vec<u64>>()
+        );
+    }
+
+    /// An LP whose outputs *do* change after a straggler (it forwards a
+    /// running count): lazy cancellation must still converge to the same
+    /// final state, sending anti-messages for the diverged outputs.
+    struct CountingForwarder {
+        peer: LpId,
+    }
+
+    impl LogicalProcess for CountingForwarder {
+        fn init(&self) -> LpState {
+            LpState::new(0i64)
+        }
+
+        fn on_event(&self, state: &mut LpState, ev: &EventMsg) -> Vec<OutMsg> {
+            let count = state.get_mut::<i64>();
+            *count += 1;
+            vec![OutMsg {
+                to: self.peer,
+                recv_ts: ev.recv_ts + 1,
+                payload: opcsp_core::Value::Int(*count),
+            }]
+        }
+    }
+
+    #[test]
+    fn lazy_diverging_outputs_still_converge() {
+        let mk = |cancellation| {
+            let behaviors: Vec<Arc<dyn LogicalProcess>> = vec![
+                Arc::new(Source {
+                    to: LpId(2),
+                    times: vec![10, 20],
+                }),
+                Arc::new(Source {
+                    to: LpId(2),
+                    times: vec![5],
+                }), // straggler
+                Arc::new(CountingForwarder { peer: LpId(3) }),
+                Arc::new(Forwarder { peer: None }),
+            ];
+            let mut overrides = BTreeMap::new();
+            overrides.insert((LpId(1), LpId(2)), 500u64);
+            let cfg = TwConfig {
+                transit: 10,
+                transit_overrides: overrides,
+                cancellation,
+                ..TwConfig::default()
+            };
+            TwWorld::new(cfg, behaviors).run()
+        };
+        let aggressive = mk(Cancellation::Aggressive);
+        let lazy = mk(Cancellation::Lazy);
+        // Counts shift after the straggler: outputs diverge, so lazy must
+        // send anti-messages for the stale ones.
+        assert!(lazy.stats.anti_messages > 0);
+        assert_eq!(
+            aggressive.states[&LpId(3)].get::<Vec<u64>>(),
+            lazy.states[&LpId(3)].get::<Vec<u64>>(),
+            "both strategies must converge to the same committed log"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! The protocol on real OS threads (opcsp-rt): wall-clock call streaming
+//! vs synchronous RPC over an injected 5 ms one-way latency.
+//!
+//! ```sh
+//! cargo run --release --example real_threads
+//! ```
+
+use opcsp_core::Value;
+use opcsp_rt::{RtConfig, RtWorld};
+use opcsp_workloads::servers::Server;
+use opcsp_workloads::streaming::PutLineClient;
+use std::time::Duration;
+
+fn run(n: u32, optimism: bool, latency: Duration) -> opcsp_rt::RtResult {
+    let cfg = RtConfig {
+        optimism,
+        latency,
+        fork_timeout: Duration::from_secs(2),
+        run_timeout: Duration::from_secs(30),
+        grace: 5 * latency,
+        ..RtConfig::default()
+    };
+    let mut w = RtWorld::new(cfg);
+    w.add_process(PutLineClient::new(n), true);
+    w.add_process(
+        Server::new("WindowManager", 0).with_reply(|_| Value::Bool(true)),
+        false,
+    );
+    w.run()
+}
+
+fn main() {
+    let n = 16;
+    let latency = Duration::from_millis(5);
+    println!(
+        "{} PutLine calls over a {:?} one-way link, real threads:\n",
+        n, latency
+    );
+
+    let rpc = run(n, false, latency);
+    println!(
+        "synchronous RPC : {:>8.1?}  (lower bound {} round trips = {:?})",
+        rpc.wall,
+        n,
+        latency * 2 * n,
+    );
+
+    let streamed = run(n, true, latency);
+    println!(
+        "call streaming  : {:>8.1?}  (forks={}, aborts={}, ~one round trip + overhead)",
+        streamed.wall, streamed.stats.forks, streamed.stats.aborts,
+    );
+    println!(
+        "\nwall-clock speedup: {:.1}x",
+        rpc.wall.as_secs_f64() / streamed.wall.as_secs_f64()
+    );
+    assert!(!rpc.timed_out && !streamed.timed_out);
+}

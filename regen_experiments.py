@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from the figures harness output.
+
+Keeps the hand-written commentary header (everything before the
+'# Regenerated output' marker) and replaces the rest with fresh output
+from `cargo run --release -p opcsp-bench --bin figures`.
+"""
+import subprocess, sys
+
+MARKER = "# Regenerated output"
+out = subprocess.run(
+    ["cargo", "run", "-q", "--release", "-p", "opcsp-bench", "--bin", "figures"],
+    capture_output=True, text=True, check=True,
+).stdout
+doc = open("EXPERIMENTS.md").read()
+head = doc.split(MARKER)[0]
+open("EXPERIMENTS.md", "w").write(head + MARKER + "\n\n" + out)
+print("EXPERIMENTS.md regenerated:", len(out), "bytes of fresh output")

@@ -1,0 +1,13 @@
+//! # opcsp — Optimistic Parallelization of Communicating Sequential Processes
+//!
+//! Umbrella crate re-exporting the whole workspace: a Rust reproduction of
+//! Bacon & Strom, *Optimistic Parallelization of Communicating Sequential
+//! Processes* (PPoPP 1991). See the README for a guided tour and
+//! DESIGN.md for the system inventory.
+
+pub use opcsp_core as core;
+pub use opcsp_lang as lang;
+pub use opcsp_rt as rt;
+pub use opcsp_sim as sim;
+pub use opcsp_timewarp as timewarp;
+pub use opcsp_workloads as workloads;

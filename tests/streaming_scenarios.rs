@@ -1,0 +1,303 @@
+//! Call streaming (§1): behavioral tests for the PutLine workload that
+//! back experiments E1–E3 and E8 — pipelining beats round trips, faults
+//! truncate the stream exactly, and traces stay equivalent throughout.
+
+use opcsp_core::CoreConfig;
+use opcsp_sim::check_equivalence;
+use opcsp_workloads::streaming::{delivered_lines, run_streaming, StreamingOpts, CLIENT};
+use std::collections::BTreeSet;
+
+fn opts(n: u32, latency: u64) -> StreamingOpts {
+    StreamingOpts {
+        n,
+        latency,
+        ..StreamingOpts::default()
+    }
+}
+
+/// The headline claim: with N calls and one-way latency d, the sequential
+/// client needs ~2·N·d while the streaming client needs ~2d + N·ε.
+#[test]
+fn streaming_pipelines_n_calls() {
+    let (n, d) = (16, 100);
+    let opt = run_streaming(opts(n, d));
+    let pess = run_streaming(StreamingOpts {
+        optimism: false,
+        ..opts(n, d)
+    });
+    assert!(opt.unresolved.is_empty());
+    assert_eq!(opt.stats().aborts, 0);
+    assert_eq!(opt.stats().forks as u32, n);
+    // Sequential: at least N round trips.
+    assert!(pess.completion >= 2 * d * n as u64);
+    // Streaming: all calls in flight together — a small multiple of one
+    // round trip, far below the sequential time.
+    assert!(
+        opt.completion < pess.completion / 4,
+        "streaming {} vs sequential {}",
+        opt.completion,
+        pess.completion
+    );
+    assert_eq!(delivered_lines(&opt) as u32, n);
+}
+
+/// Speedup grows with latency (E1's shape): at negligible latency the two
+/// executions are comparable; at high latency streaming wins by ~N×.
+#[test]
+fn speedup_grows_with_latency() {
+    let n = 8;
+    let mut prev_speedup = 0.0;
+    for d in [1u64, 16, 256] {
+        let o = run_streaming(opts(n, d));
+        let p = run_streaming(StreamingOpts {
+            optimism: false,
+            ..opts(n, d)
+        });
+        let speedup = p.completion as f64 / o.completion.max(1) as f64;
+        assert!(
+            speedup >= prev_speedup * 0.9,
+            "speedup should grow with latency: d={d} gave {speedup:.2} after {prev_speedup:.2}"
+        );
+        prev_speedup = speedup;
+    }
+    assert!(
+        prev_speedup > 4.0,
+        "at d=256 speedup should approach N: {prev_speedup:.2}"
+    );
+}
+
+/// A rejected line is a value fault: the speculative tail rolls back and
+/// the client stops exactly after the failed line, matching the
+/// pessimistic execution.
+#[test]
+fn value_fault_truncates_stream_correctly() {
+    let n = 12;
+    let fail_at = 5u32;
+    let o = StreamingOpts {
+        fail_lines: BTreeSet::from([fail_at]),
+        ..opts(n, 60)
+    };
+    let opt = run_streaming(o.clone());
+    let pess = run_streaming(StreamingOpts {
+        optimism: false,
+        ..o
+    });
+    assert!(opt.unresolved.is_empty());
+    assert!(opt.stats().value_faults >= 1, "line {fail_at} must fault");
+    assert!(opt.stats().aborts >= 1);
+    // Exactly `fail_at` lines delivered successfully in both runs.
+    assert_eq!(delivered_lines(&pess) as u32, fail_at);
+    assert_eq!(delivered_lines(&opt) as u32, fail_at);
+    let rep = check_equivalence(&pess, &opt);
+    assert!(rep.equivalent, "{:#?}", rep.mismatches);
+}
+
+/// Multiple scattered failures: every one aborts the tail beyond it, and
+/// the committed trace still equals the sequential one (the client stops
+/// at the first failure).
+#[test]
+fn first_failure_wins() {
+    let o = StreamingOpts {
+        fail_lines: BTreeSet::from([3, 7, 9]),
+        ..opts(12, 40)
+    };
+    let opt = run_streaming(o.clone());
+    let pess = run_streaming(StreamingOpts {
+        optimism: false,
+        ..o
+    });
+    assert_eq!(delivered_lines(&opt), 3);
+    let rep = check_equivalence(&pess, &opt);
+    assert!(rep.equivalent, "{:#?}", rep.mismatches);
+}
+
+/// Failing the very first line: almost everything speculated is wasted,
+/// yet the result is still correct.
+#[test]
+fn immediate_failure_rolls_back_everything() {
+    let o = StreamingOpts {
+        fail_lines: BTreeSet::from([0]),
+        ..opts(8, 40)
+    };
+    let opt = run_streaming(o.clone());
+    assert_eq!(delivered_lines(&opt), 0);
+    assert!(opt.unresolved.is_empty());
+    let pess = run_streaming(StreamingOpts {
+        optimism: false,
+        ..o
+    });
+    let rep = check_equivalence(&pess, &opt);
+    assert!(rep.equivalent, "{:#?}", rep.mismatches);
+    // The client's committed log ends after the first (failed) call.
+    let log = &opt.logs[&CLIENT];
+    let calls = log
+        .iter()
+        .filter(|e| matches!(e, opcsp_sim::Observable::Sent { .. }))
+        .count();
+    assert_eq!(calls, 1, "only line 0's call commits: {log:?}");
+}
+
+/// Guard sets grow linearly along the speculative chain (the E8
+/// motivation): the deepest message carries ~N guesses.
+#[test]
+fn guard_bytes_grow_with_stream_depth() {
+    let small = run_streaming(opts(4, 50));
+    let large = run_streaming(opts(32, 50));
+    assert!(
+        large.stats().guard_bytes > small.stats().guard_bytes * 8,
+        "guard bytes should grow superlinearly with N: {} vs {}",
+        large.stats().guard_bytes,
+        small.stats().guard_bytes
+    );
+}
+
+/// One value fault dooms the whole dependent speculative tail: failing
+/// line 0 of an 8-line stream aborts all 8 guesses (x1 by the fault,
+/// x2..x8 by the cascade).
+#[test]
+fn fault_dooms_dependent_tail() {
+    let o = StreamingOpts {
+        fail_lines: BTreeSet::from([0]),
+        ..opts(8, 40)
+    };
+    let r = run_streaming(o);
+    assert!(r.unresolved.is_empty());
+    assert_eq!(r.stats().value_faults, 1);
+    let aborted = r.trace.aborted_guesses();
+    assert_eq!(
+        aborted.len(),
+        8,
+        "all 8 speculative guesses die: {aborted:?}"
+    );
+}
+
+/// The retry limit L (§3.3) with L = 0: optimism is budget-exhausted from
+/// the start, every fork is refused, and the run is exactly the
+/// pessimistic execution even with `optimism: true`.
+#[test]
+fn retry_limit_zero_degenerates_to_pessimistic() {
+    let o = StreamingOpts {
+        core: CoreConfig {
+            retry_limit: 0,
+            ..CoreConfig::default()
+        },
+        ..opts(8, 40)
+    };
+    let limited = run_streaming(o.clone());
+    let pess = run_streaming(StreamingOpts {
+        optimism: false,
+        ..o
+    });
+    assert_eq!(limited.stats().forks, 0);
+    assert_eq!(limited.stats().aborts, 0);
+    assert_eq!(limited.completion, pess.completion);
+    let rep = check_equivalence(&pess, &limited);
+    assert!(rep.equivalent, "{:#?}", rep.mismatches);
+}
+
+/// Deterministic across repeated runs, including under faults.
+#[test]
+fn streaming_is_deterministic() {
+    let o = StreamingOpts {
+        fail_lines: BTreeSet::from([2]),
+        ..opts(10, 30)
+    };
+    let a = run_streaming(o.clone());
+    let b = run_streaming(o);
+    assert_eq!(a.completion, b.completion);
+    assert_eq!(a.stats(), b.stats());
+    assert_eq!(a.logs, b.logs);
+}
+
+/// Large stream smoke test: N=128 resolves completely with zero aborts and
+/// linear message counts.
+#[test]
+fn large_stream_resolves() {
+    let n = 128;
+    let r = run_streaming(opts(n, 20));
+    assert!(r.unresolved.is_empty());
+    assert!(!r.truncated);
+    assert_eq!(r.stats().aborts, 0);
+    assert_eq!(r.stats().forks as u32, n);
+    // 2 data messages per line (call + return).
+    assert_eq!(r.stats().data_messages as u32, 2 * n);
+    assert_eq!(delivered_lines(&r) as u32, n);
+}
+
+// ---------------------------------------------------------------------
+// §4.2.1 fork-after-send
+// ---------------------------------------------------------------------
+
+mod fork_after_send {
+    use super::*;
+
+    #[test]
+    fn produces_same_results_as_fork_before_send() {
+        let base = opts(12, 60);
+        let regular = run_streaming(base.clone());
+        let fas = run_streaming(StreamingOpts {
+            fork_after_send: true,
+            ..base
+        });
+        assert!(fas.unresolved.is_empty());
+        assert_eq!(fas.stats().aborts, 0);
+        assert_eq!(delivered_lines(&fas), delivered_lines(&regular));
+        assert_eq!(regular.logs, fas.logs, "identical committed traces");
+    }
+
+    #[test]
+    fn handles_value_faults() {
+        let o = StreamingOpts {
+            fork_after_send: true,
+            fail_lines: BTreeSet::from([4]),
+            ..opts(10, 50)
+        };
+        let fas = run_streaming(o.clone());
+        assert!(fas.unresolved.is_empty());
+        assert!(fas.stats().value_faults >= 1);
+        assert_eq!(delivered_lines(&fas), 4);
+        let pess = run_streaming(StreamingOpts {
+            optimism: false,
+            ..o
+        });
+        let rep = check_equivalence(&pess, &fas);
+        assert!(rep.equivalent, "{:#?}", rep.mismatches);
+    }
+
+    #[test]
+    fn pessimistic_mode_degrades_to_plain_calls() {
+        let o = StreamingOpts {
+            fork_after_send: true,
+            optimism: false,
+            ..opts(6, 40)
+        };
+        let r = run_streaming(o);
+        assert_eq!(r.stats().forks, 0);
+        assert_eq!(delivered_lines(&r), 6);
+    }
+
+    #[test]
+    fn saves_a_step_per_call() {
+        // The calls leave one engine-step earlier: first call's send time.
+        let base = opts(8, 100);
+        let regular = run_streaming(base.clone());
+        let fas = run_streaming(StreamingOpts {
+            fork_after_send: true,
+            ..base
+        });
+        let first_send = |r: &opcsp_sim::SimResult| {
+            r.trace
+                .iter()
+                .find_map(|e| match e {
+                    opcsp_sim::TraceEvent::Send { t, .. } => Some(*t),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(
+            first_send(&fas) <= first_send(&regular),
+            "fork-after-send must not delay the call"
+        );
+        assert!(fas.completion <= regular.completion);
+    }
+}
