@@ -4,7 +4,7 @@
 use std::fmt;
 
 /// A titled table of string cells.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     pub title: String,
     pub columns: Vec<String>,
@@ -46,8 +46,193 @@ impl Table {
 
 impl Table {
     /// JSON encoding for downstream tooling (plotting, CI comparisons).
+    /// Hand-rolled: the build environment has no crates.io access, so the
+    /// serde dependency was dropped (the schema is four fields of strings).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str("  \"columns\": ");
+        json_str_array(&mut out, &self.columns, 2);
+        out.push_str(",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str_array(&mut out, row, 4);
+        }
+        if self.rows.is_empty() {
+            out.push(']');
+        } else {
+            out.push_str("\n  ]");
+        }
+        out.push_str(",\n  \"notes\": ");
+        json_str_array(&mut out, &self.notes, 2);
+        out.push_str("\n}");
+        out
+    }
+
+    /// Parse the output of [`Table::to_json`] (round-trip check in tests).
+    pub fn from_json(s: &str) -> Option<Table> {
+        let mut p = JsonParser { s: s.as_bytes(), i: 0 };
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut title = None;
+        let mut columns = None;
+        let mut rows = None;
+        let mut notes = None;
+        loop {
+            p.skip_ws();
+            if p.peek()? == b'}' {
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            match key.as_str() {
+                "title" => title = Some(p.string()?),
+                "columns" => columns = Some(p.string_array()?),
+                "notes" => notes = Some(p.string_array()?),
+                "rows" => {
+                    let mut r = Vec::new();
+                    p.expect(b'[')?;
+                    loop {
+                        p.skip_ws();
+                        match p.peek()? {
+                            b']' => {
+                                p.i += 1;
+                                break;
+                            }
+                            b',' => p.i += 1,
+                            _ => r.push(p.string_array()?),
+                        }
+                    }
+                    rows = Some(r);
+                }
+                _ => return None,
+            }
+            p.skip_ws();
+            if p.peek() == Some(b',') {
+                p.i += 1;
+            }
+        }
+        Some(Table {
+            title: title?,
+            columns: columns?,
+            rows: rows?,
+            notes: notes?,
+        })
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(out: &mut String, items: &[String], _indent: usize) {
+    out.push('[');
+    for (i, it) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(it));
+    }
+    out.push(']');
+}
+
+struct JsonParser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        if self.peek()? == b {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\n' | b'\t' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.skip_ws();
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i)? {
+                b'"' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.s.get(self.i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(self.s.get(self.i + 1..self.i + 5)?).ok()?;
+                            out.push(char::from_u32(u32::from_str_radix(hex, 16).ok()?)?);
+                            self.i += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.i += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.s[self.i..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn string_array(&mut self) -> Option<Vec<String>> {
+        self.skip_ws();
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek()? {
+                b']' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                b',' => self.i += 1,
+                _ => out.push(self.string()?),
+            }
+        }
     }
 }
 

@@ -112,6 +112,6 @@ fn tables_serialize_to_json() {
     let j = t.to_json();
     assert!(j.contains("\"title\""));
     assert!(j.contains("min-deps delivery"));
-    let back: opcsp_bench::Table = serde_json::from_str(&j).unwrap();
+    let back = opcsp_bench::Table::from_json(&j).unwrap();
     assert_eq!(back, t);
 }

@@ -61,9 +61,12 @@ impl CompactGuard {
     /// expansion enumerates indices `0..n`; guesses known committed are
     /// omitted (they are no longer guard members by definition).
     pub fn expand(&self, history: &History) -> Guard {
-        let mut out = Guard::empty();
+        // Accumulate into a Vec and build the guard in one shot: inserting
+        // into a shared guard rebuilds its storage, so element-wise inserts
+        // would cost O(n²) for long chains.
+        let mut out = Vec::new();
         for (&p, &latest) in &self.per_process {
-            out.insert(latest);
+            out.push(latest);
             for idx in 0..latest.index {
                 // Determine which incarnation idx belongs to in latest's
                 // past: the highest incarnation ≤ latest.incarnation whose
@@ -88,11 +91,11 @@ impl CompactGuard {
                     index: idx,
                 };
                 if !history.is_committed(g) && !history.is_aborted(g) {
-                    out.insert(g);
+                    out.push(g);
                 }
             }
         }
-        out
+        out.into_iter().collect()
     }
 
     pub fn len(&self) -> usize {

@@ -1,0 +1,137 @@
+//! Copy-on-write map used for per-thread protocol metadata.
+//!
+//! `ProcessCore` snapshots each thread's `(guard, rollbacks)` at every
+//! interval boundary (§4.1.1) and restores a snapshot on rollback
+//! (§4.1.3). With a plain `BTreeMap` every snapshot deep-copies the map;
+//! [`CowMap`] makes the snapshot an `Arc` bump and defers the copy to the
+//! first mutation after the boundary — rollback restore is likewise O(1)
+//! adoption of the snapshot's storage.
+
+use std::collections::BTreeMap;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An `Arc`-shared `BTreeMap` with O(1) clone and copy-on-mutate writes.
+///
+/// Dereferences to `BTreeMap` for the whole read API (`get`, indexing,
+/// iteration, `len`); the mutating subset (`insert`, `remove`, `clear`)
+/// is provided inherently and copies the backing map only when it is
+/// shared with a snapshot.
+#[derive(Debug, Clone)]
+pub struct CowMap<K: Ord + Clone, V: Clone> {
+    inner: Arc<BTreeMap<K, V>>,
+}
+
+impl<K: Ord + Clone, V: Clone> CowMap<K, V> {
+    pub fn new() -> Self {
+        CowMap {
+            inner: Arc::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        Arc::make_mut(&mut self.inner).insert(k, v)
+    }
+
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        // Avoid materializing a private copy just to discover the key is
+        // absent (the common case when clearing resolved guesses).
+        if !self.inner.contains_key(k) {
+            return None;
+        }
+        Arc::make_mut(&mut self.inner).remove(k)
+    }
+
+    pub fn clear(&mut self) {
+        if !self.inner.is_empty() {
+            Arc::make_mut(&mut self.inner).clear();
+        }
+    }
+
+    /// Do `self` and `other` share one backing allocation? (Test hook for
+    /// the structural-sharing guarantees.)
+    pub fn shares_storage_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Default for CowMap<K, V> {
+    fn default() -> Self {
+        CowMap::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Deref for CowMap<K, V> {
+    type Target = BTreeMap<K, V>;
+    fn deref(&self) -> &BTreeMap<K, V> {
+        &self.inner
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + PartialEq> PartialEq for CowMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || *self.inner == *other.inner
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + Eq> Eq for CowMap<K, V> {}
+
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for CowMap<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        CowMap {
+            inner: Arc::new(iter.into_iter().collect()),
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone, V: Clone> IntoIterator for &'a CowMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::collections::btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage_until_write() {
+        let mut a: CowMap<u32, u32> = CowMap::new();
+        a.insert(1, 10);
+        let snap = a.clone();
+        assert!(a.shares_storage_with(&snap));
+        a.insert(2, 20);
+        assert!(!a.shares_storage_with(&snap));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[&1], 10);
+    }
+
+    #[test]
+    fn remove_of_absent_key_keeps_sharing() {
+        let mut a: CowMap<u32, u32> = CowMap::from_iter([(1, 10)]);
+        let snap = a.clone();
+        assert_eq!(a.remove(&7), None);
+        assert!(a.shares_storage_with(&snap));
+        assert_eq!(a.remove(&1), Some(10));
+        assert!(!a.shares_storage_with(&snap));
+    }
+
+    #[test]
+    fn deref_gives_read_api() {
+        let m: CowMap<u32, &'static str> = CowMap::from_iter([(2, "b"), (1, "a")]);
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(m.contains_key(&2));
+    }
+
+    #[test]
+    fn equality_ignores_sharing() {
+        let a: CowMap<u32, u32> = CowMap::from_iter([(1, 1)]);
+        let b: CowMap<u32, u32> = CowMap::from_iter([(1, 1)]);
+        assert_eq!(a, b);
+        assert!(!a.shares_storage_with(&b));
+    }
+}

@@ -8,7 +8,8 @@
 //! *implicit aborts* for guesses superseded by a later incarnation.
 
 use crate::ids::{ForkIndex, GuessId, Incarnation, ProcessId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// The resolution state of a guess, from this process's point of view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +71,15 @@ impl IncarnationTable {
         self.starts.get(inc.0 as usize).copied()
     }
 
+    /// Would [`record`](Self::record) modify the table? Lets the CoW
+    /// history skip unsharing a table that already holds the information.
+    fn record_would_change(&self, inc: Incarnation, start: ForkIndex) -> bool {
+        match self.starts.get(inc.0 as usize) {
+            Some(&s) => s > start,
+            None => true,
+        }
+    }
+
     /// Is the guess *implicitly aborted* because a later incarnation started
     /// at or before its index? (§4.1.5: "Receipt of C_{2,3} can also be
     /// taken as an implicit abort of x_{1,3}".)
@@ -103,11 +113,19 @@ impl IncarnationTable {
 }
 
 /// Commit history across all remote processes.
+///
+/// Both maps are keyed per peer and `Arc`-shared: cloning a history (an
+/// interval checkpoint, or an engine snapshotting a core) bumps one
+/// reference count per peer instead of copying every entry, and a later
+/// write unshares only the single peer's map it touches.
 #[derive(Debug, Clone, Default)]
 pub struct History {
-    fates: HashMap<GuessId, Fate>,
-    incarnations: HashMap<ProcessId, IncarnationTable>,
+    fates: HashMap<ProcessId, Arc<FateMap>>,
+    incarnations: HashMap<ProcessId, Arc<IncarnationTable>>,
 }
+
+/// Per-peer fate entries, keyed by (incarnation, fork index).
+type FateMap = BTreeMap<(Incarnation, ForkIndex), Fate>;
 
 impl History {
     pub fn new() -> Self {
@@ -117,8 +135,10 @@ impl History {
     /// The fate of a guess: explicit entry, else implicit abort via the
     /// incarnation table, else `Unknown`.
     pub fn fate(&self, g: GuessId) -> Fate {
-        if let Some(f) = self.fates.get(&g) {
-            return *f;
+        if let Some(m) = self.fates.get(&g.process) {
+            if let Some(f) = m.get(&(g.incarnation, g.index)) {
+                return *f;
+            }
         }
         if let Some(t) = self.incarnations.get(&g.process) {
             if t.implicitly_aborted(g.incarnation, g.index) {
@@ -136,24 +156,31 @@ impl History {
         self.fate(g) == Fate::Committed
     }
 
+    fn set_fate(&mut self, g: GuessId, f: Fate) {
+        let m = self.fates.entry(g.process).or_default();
+        if m.get(&(g.incarnation, g.index)) != Some(&f) {
+            Arc::make_mut(m).insert((g.incarnation, g.index), f);
+        }
+    }
+
     /// Record a COMMIT message (§4.2.6).
     pub fn record_commit(&mut self, g: GuessId) {
-        self.fates.insert(g, Fate::Committed);
+        self.set_fate(g, Fate::Committed);
     }
 
     /// Record an ABORT message (§4.2.7). Also notes the incarnation bump:
     /// the owning process restarts `g.index` under `g.incarnation + 1`.
     pub fn record_abort(&mut self, g: GuessId) {
-        self.fates.insert(g, Fate::Aborted);
-        self.incarnations
-            .entry(g.process)
-            .or_default()
-            .record(Incarnation(g.incarnation.0 + 1), g.index);
+        self.set_fate(g, Fate::Aborted);
+        self.record_incarnation(g.process, Incarnation(g.incarnation.0 + 1), g.index);
     }
 
     /// Record a PRECEDENCE message (§4.2.8: "we set `History[z_n]` = unknown").
     pub fn record_unknown(&mut self, g: GuessId) {
-        self.fates.entry(g).or_insert(Fate::Unknown);
+        let m = self.fates.entry(g.process).or_default();
+        if !m.contains_key(&(g.incarnation, g.index)) {
+            Arc::make_mut(m).insert((g.incarnation, g.index), Fate::Unknown);
+        }
     }
 
     /// Note that a message mentioned guess `g`, which implies incarnation
@@ -161,34 +188,49 @@ impl History {
     /// `g.index`.
     pub fn observe_guess(&mut self, g: GuessId) {
         if g.incarnation.0 > 0 {
-            self.incarnations
-                .entry(g.process)
-                .or_default()
-                .record(g.incarnation, g.index);
+            self.record_incarnation(g.process, g.incarnation, g.index);
+        }
+    }
+
+    fn record_incarnation(&mut self, p: ProcessId, inc: Incarnation, start: ForkIndex) {
+        let t = self.incarnations.entry(p).or_default();
+        if t.record_would_change(inc, start) {
+            Arc::make_mut(t).record(inc, start);
         }
     }
 
     pub fn incarnation_table(&self, p: ProcessId) -> Option<&IncarnationTable> {
-        self.incarnations.get(&p)
+        self.incarnations.get(&p).map(|t| t.as_ref())
     }
 
     /// Number of explicit entries (diagnostics / E8 ablation).
     pub fn explicit_entries(&self) -> usize {
-        self.fates.len()
+        self.fates.values().map(|m| m.len()).sum()
     }
 
     /// Drop explicit entries for committed guesses older than `keep_from`
     /// per process — fossil collection for long simulations.
     pub fn compact(&mut self, keep_from: &HashMap<ProcessId, ForkIndex>) {
-        self.fates.retain(|g, f| {
-            if *f != Fate::Committed {
-                return true;
+        for (p, m) in self.fates.iter_mut() {
+            let Some(&keep) = keep_from.get(p) else {
+                continue;
+            };
+            let drops = m
+                .iter()
+                .any(|(&(_, idx), &f)| f == Fate::Committed && idx < keep);
+            if drops {
+                Arc::make_mut(m).retain(|&(_, idx), f| *f != Fate::Committed || idx >= keep);
             }
-            keep_from
-                .get(&g.process)
-                .map(|&k| g.index >= k)
-                .unwrap_or(true)
-        });
+        }
+    }
+
+    /// Does this history share a peer's fate map with `other`? (Test hook
+    /// for the checkpoint structural-sharing guarantee.)
+    pub fn shares_peer_storage_with(&self, other: &History, p: ProcessId) -> bool {
+        match (self.fates.get(&p), other.fates.get(&p)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 }
 
@@ -272,6 +314,26 @@ mod tests {
         assert_eq!(h.fate(gid(0, 0, 1)), Fate::Unknown); // forgotten
         assert!(h.is_committed(gid(0, 0, 5)));
         assert!(h.is_aborted(gid(0, 0, 7)));
+    }
+
+    #[test]
+    fn clone_shares_per_peer_storage_until_write() {
+        let mut h = History::new();
+        h.record_commit(gid(0, 0, 1));
+        h.record_commit(gid(1, 0, 1));
+        let snap = h.clone();
+        assert!(h.shares_peer_storage_with(&snap, ProcessId(0)));
+        assert!(h.shares_peer_storage_with(&snap, ProcessId(1)));
+        // A write to peer 0 unshares only peer 0's map.
+        h.record_commit(gid(0, 0, 2));
+        assert!(!h.shares_peer_storage_with(&snap, ProcessId(0)));
+        assert!(h.shares_peer_storage_with(&snap, ProcessId(1)));
+        // Re-recording known information keeps sharing intact.
+        h.record_commit(gid(1, 0, 1));
+        h.observe_guess(gid(1, 0, 3));
+        assert!(h.shares_peer_storage_with(&snap, ProcessId(1)));
+        assert_eq!(snap.explicit_entries(), 2);
+        assert_eq!(h.explicit_entries(), 3);
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub struct GuessId {
 }
 
 impl GuessId {
+    /// Bytes one guess occupies in a wire-format guard tag — derived from
+    /// the actual identifier field widths so it tracks any change to them.
+    pub const WIRE_BYTES: usize = std::mem::size_of::<ProcessId>()
+        + std::mem::size_of::<Incarnation>()
+        + std::mem::size_of::<ForkIndex>();
+
     pub const fn new(process: ProcessId, incarnation: Incarnation, index: ForkIndex) -> Self {
         GuessId {
             process,
@@ -165,6 +171,15 @@ mod tests {
         let b = StateIndex::new(1, 0);
         let c = StateIndex::new(1, 2);
         assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn wire_bytes_tracks_field_widths() {
+        assert_eq!(
+            GuessId::WIRE_BYTES,
+            std::mem::size_of::<u32>() * 3,
+            "three u32-backed fields"
+        );
     }
 
     #[test]

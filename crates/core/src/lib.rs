@@ -28,6 +28,7 @@
 
 pub mod cdg;
 pub mod compact;
+pub mod cow;
 pub mod guard;
 pub mod history;
 pub mod ids;
@@ -38,10 +39,11 @@ pub mod value;
 
 pub use cdg::{Cdg, EdgeOutcome};
 pub use compact::{measure, CompactGuard, GuardSizes};
-pub use guard::Guard;
+pub use cow::CowMap;
+pub use guard::{Guard, GuardInterner};
 pub use history::{Fate, History, IncarnationTable};
 pub use ids::{ForkIndex, GuessId, Incarnation, ProcessId, StateIndex, ThreadId};
-pub use message::{CallId, Control, DataKind, Envelope, MsgId};
+pub use message::{CallId, Control, DataKind, Envelope, Label, MsgId};
 pub use process::{
     ArrivalVerdict, CoreConfig, DeliveryEffect, ForkRecord, MetaSnapshot, OwnGuess, OwnGuessState,
     ProcessCore, ThreadMeta, ThreadPhase,

@@ -9,6 +9,13 @@ use crate::guard::Guard;
 use crate::ids::{ForkIndex, GuessId, ProcessId};
 use crate::value::Value;
 use std::fmt;
+use std::sync::Arc;
+
+/// Message label for trace rendering ("C1", "R2", ...). Reference-counted:
+/// a label is allocated once when the message is created and shared by
+/// every copy the engines keep (consumed-message logs, call stacks,
+/// checkpoints).
+pub type Label = Arc<str>;
 
 /// Globally unique message identifier (assigned by the engine; used for
 /// call/return matching and trace rendering).
@@ -53,7 +60,7 @@ pub struct Envelope {
     pub kind: DataKind,
     pub payload: Value,
     /// Human-readable label for trace rendering ("C1", "R2", ...).
-    pub label: String,
+    pub label: Label,
 }
 
 impl Envelope {
@@ -95,9 +102,12 @@ impl Control {
     }
 
     pub fn wire_size(&self) -> usize {
+        // One opcode byte plus the subject guess id, sized from its actual
+        // field widths.
+        let base = 1 + GuessId::WIRE_BYTES;
         match self {
-            Control::Commit(_) | Control::Abort(_) => 13,
-            Control::Precedence(_, g) => 13 + g.wire_size(),
+            Control::Commit(_) | Control::Abort(_) => base,
+            Control::Precedence(_, g) => base + g.wire_size(),
         }
     }
 }
@@ -126,7 +136,7 @@ mod tests {
             guard: Guard::single(GuessId::first(ProcessId(0), 1)),
             kind: DataKind::Call(CallId(7)),
             payload: Value::Int(5),
-            label: label.to_string(),
+            label: label.into(),
         }
     }
 

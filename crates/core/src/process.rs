@@ -14,7 +14,8 @@
 //! bookkeeping is simpler.
 
 use crate::cdg::Cdg;
-use crate::guard::Guard;
+use crate::cow::CowMap;
+use crate::guard::{Guard, GuardInterner};
 use crate::history::History;
 use crate::ids::{ForkIndex, GuessId, Incarnation, ProcessId, StateIndex};
 use crate::message::{DataKind, Envelope};
@@ -55,10 +56,19 @@ impl Default for CoreConfig {
 
 /// Protocol metadata snapshot taken at entry to each interval, so rollback
 /// can restore the guard/rollback maps along with the behavior state.
+///
+/// This is a delta checkpoint: the guard is a copy-on-write clone (a
+/// reference-count bump), and the rollback map is represented by the keys
+/// the interval transition *added* — restoring past the snapshot removes
+/// exactly those keys. Entries removed from the live map since a boundary
+/// are always resolution-driven, and the restore path re-filters against
+/// the commit history, so added-keys are the complete delta.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetaSnapshot {
     pub guard: Guard,
-    pub rollbacks: BTreeMap<GuessId, StateIndex>,
+    /// Rollback-map keys first recorded upon entering this snapshot's
+    /// interval.
+    pub added: Vec<GuessId>,
 }
 
 /// Why a thread exists / what it is doing, from the protocol's viewpoint.
@@ -84,7 +94,7 @@ pub struct ThreadMeta {
     pub guard: Guard,
     /// `Rollbacks[g]`: state index at which this thread first became
     /// dependent upon `g` (§4.1.3).
-    pub rollbacks: BTreeMap<GuessId, StateIndex>,
+    pub rollbacks: CowMap<GuessId, StateIndex>,
     /// Snapshot of (guard, rollbacks) at entry to each interval;
     /// `snapshots[i]` is the state on entering interval `i`.
     pub snapshots: Vec<MetaSnapshot>,
@@ -92,10 +102,10 @@ pub struct ThreadMeta {
 }
 
 impl ThreadMeta {
-    fn new(index: ForkIndex, guard: Guard, rollbacks: BTreeMap<GuessId, StateIndex>) -> Self {
+    fn new(index: ForkIndex, guard: Guard, rollbacks: CowMap<GuessId, StateIndex>) -> Self {
         let snap = MetaSnapshot {
             guard: guard.clone(),
-            rollbacks: rollbacks.clone(),
+            added: Vec::new(),
         };
         ThreadMeta {
             index,
@@ -189,12 +199,15 @@ pub struct ProcessCore {
     /// For targeted control dissemination (§4.2.5): the processes we sent
     /// each guess to in a data-message guard tag.
     dependents: BTreeMap<GuessId, BTreeSet<ProcessId>>,
+    /// Canonicalization table for guard tags received by this process, so
+    /// repeated identical tags share one allocation.
+    interner: GuardInterner,
 }
 
 impl ProcessCore {
     pub fn new(id: ProcessId, config: CoreConfig) -> Self {
         let mut threads = BTreeMap::new();
-        threads.insert(0, ThreadMeta::new(0, Guard::empty(), BTreeMap::new()));
+        threads.insert(0, ThreadMeta::new(0, Guard::empty(), CowMap::new()));
         ProcessCore {
             id,
             config,
@@ -206,6 +219,7 @@ impl ProcessCore {
             own: BTreeMap::new(),
             retries: HashMap::new(),
             dependents: BTreeMap::new(),
+            interner: GuardInterner::new(),
         }
     }
 
@@ -265,8 +279,10 @@ impl ProcessCore {
         right_rollbacks.insert(guess, StateIndex::new(n, 0));
         let forked_at = left.state_index();
 
-        self.threads
-            .insert(n, ThreadMeta::new(n, right_guard.clone(), right_rollbacks));
+        let meta = ThreadMeta::new(n, right_guard, right_rollbacks);
+        // Hand the same storage back to the caller instead of deep-copying.
+        let right_guard = meta.guard.clone();
+        self.threads.insert(n, meta);
         self.cdg.add_node(guess);
         self.own.insert(
             guess,
@@ -287,9 +303,28 @@ impl ProcessCore {
         }
     }
 
-    /// Guard tag for a message sent by `thread` (§4.2.2).
-    pub fn guard_for_send(&self, thread: ForkIndex) -> Guard {
-        self.threads[&thread].guard.clone()
+    /// Guard tag for a message sent by `thread` (§4.2.2). Returns a borrow;
+    /// cloning it for an envelope is O(1) (shared storage).
+    pub fn guard_for_send(&self, thread: ForkIndex) -> &Guard {
+        &self.threads[&thread].guard
+    }
+
+    /// Canonicalize a guard through this process's interning table so
+    /// structurally equal tags share one allocation. Engines call this
+    /// when they retain a copy of an incoming tag.
+    pub fn intern_guard(&mut self, g: &Guard) -> Guard {
+        self.interner.intern(g)
+    }
+
+    /// (hits, misses) of the guard interning table — diagnostics.
+    pub fn interner_stats(&self) -> (u64, u64) {
+        self.interner.stats()
+    }
+
+    /// Forget interned guards mentioning a resolved guess (called from the
+    /// commit/abort paths; such guards can never recur).
+    pub(crate) fn purge_interned(&mut self, g: GuessId) {
+        self.interner.purge_guess(g);
     }
 
     /// Record that a `guard`-tagged data message went to `to` — the
@@ -380,13 +415,17 @@ impl ProcessCore {
     /// The engine must checkpoint the thread's behavior state *before*
     /// applying the message whenever `new_interval` is returned.
     pub fn deliver(&mut self, thread: ForkIndex, env: &Envelope) -> DeliveryEffect {
+        // Canonicalize the incoming tag first: fan-in servers see the same
+        // tag on message after message, so interning turns every repeat
+        // into an O(1) storage-sharing hit (small tags pass through free).
+        let tag = self.interner.intern(&env.guard);
         let history = &self.history;
         let meta = self.threads.get_mut(&thread).expect("thread exists");
         // A guard tag names the guesses the *sender* depended on at send
         // time; any that have since committed are no longer dependencies
         // (§4.1.5 — the commit history makes them implicit commits), and
         // aborted ones were filtered by the orphan check.
-        let mut new_guards = meta.guard.new_guards(&env.guard);
+        let mut new_guards = meta.guard.new_guards(&tag);
         new_guards.retain(|g| !history.is_committed(*g) && !history.is_aborted(*g));
         if new_guards.is_empty() {
             return DeliveryEffect {
@@ -394,15 +433,26 @@ impl ProcessCore {
                 new_interval: None,
             };
         }
-        // Snapshot protocol meta at the boundary (end of previous interval).
+        // Delta checkpoint at the boundary (end of previous interval): an
+        // O(1) guard clone plus the keys this delivery adds to the rollback
+        // map — no map copy on the delivery path.
         meta.snapshots.push(MetaSnapshot {
             guard: meta.guard.clone(),
-            rollbacks: meta.rollbacks.clone(),
+            added: new_guards.clone(),
         });
         meta.interval += 1;
         let idx = StateIndex::new(thread, meta.interval);
+        if new_guards.len() == tag.len() {
+            // Every guess in the tag is a new live dependency: plain set
+            // union, which adopts the (interned) tag's storage outright
+            // when the thread's guard was empty.
+            meta.guard.union_with(&tag);
+        } else {
+            for &g in &new_guards {
+                meta.guard.insert(g);
+            }
+        }
         for &g in &new_guards {
-            meta.guard.insert(g);
             meta.rollbacks.insert(g, idx);
             self.cdg.add_node(g);
         }

@@ -214,6 +214,7 @@ impl ProcessCore {
     fn remove_committed_guess(&mut self, g: GuessId) {
         self.history.record_commit(g);
         self.cdg.remove(g);
+        self.purge_interned(g);
         for t in self.threads.values_mut() {
             t.guard.remove(g);
             t.rollbacks.remove(&g);
@@ -432,6 +433,7 @@ impl ProcessCore {
         // 6. Clean up doomed guesses from CDG and thread metadata.
         for d in &doomed {
             self.cdg.remove(*d);
+            self.purge_interned(*d);
         }
         for tid in &effects.discard_threads {
             self.threads.remove(tid);
@@ -460,17 +462,24 @@ impl ProcessCore {
     /// at the end of interval `slot - 1`), filtering out since-resolved
     /// guesses.
     fn restore_thread_meta(&mut self, tid: ForkIndex, slot: u32) {
-        let history = self.history.clone();
-        let t = match self.threads.get_mut(&tid) {
+        // Detach the thread while restoring so the history can be consulted
+        // without cloning it just to appease the borrow checker.
+        let mut t = match self.threads.remove(&tid) {
             Some(t) => t,
             None => return,
         };
         debug_assert!(slot >= 1, "slot 0 restores are thread discards");
-        let snap = t.snapshots[slot as usize].clone();
+        t.guard = t.snapshots[slot as usize].guard.clone();
+        // Undo the rollback-map deltas of every truncated interval. Entries
+        // removed since the checkpoint were resolution-driven and stay
+        // removed — the history filter below re-applies those removals.
+        for snap in &t.snapshots[slot as usize..] {
+            for g in &snap.added {
+                t.rollbacks.remove(g);
+            }
+        }
         t.snapshots.truncate(slot as usize);
         t.interval = slot - 1;
-        t.guard = snap.guard;
-        t.rollbacks = snap.rollbacks;
         t.phase = ThreadPhase::Running;
         // Committed guesses acquired before the rollback point have since
         // resolved; they are no longer guard members. Aborted ones cannot
@@ -478,11 +487,12 @@ impl ProcessCore {
         // earlier rollback, or this very restore).
         let resolved = t
             .guard
-            .retain(|g| !history.is_committed(g) && !history.is_aborted(g));
+            .retain(|g| !self.history.is_committed(g) && !self.history.is_aborted(g));
         for g in resolved {
             t.rollbacks.remove(&g);
         }
         debug_assert_eq!(t.snapshots.len() as u32, t.interval + 1);
+        self.threads.insert(tid, t);
     }
 }
 

@@ -106,6 +106,80 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The copy-on-write guard is observationally identical to a
+    /// `BTreeSet` model under random insert/remove/union sequences:
+    /// contents, length, deterministic iteration order, and the
+    /// `new_guards` difference all agree after every step, and an alias
+    /// cloned before each mutation is never disturbed by it.
+    #[test]
+    fn guard_matches_btreeset_model(
+        ops in proptest::collection::vec((0u32..3, arb_guess(), arb_guard()), 1..40)
+    ) {
+        let mut guard = Guard::empty();
+        let mut model: BTreeSet<GuessId> = BTreeSet::new();
+        for (op, g, other) in ops {
+            // Snapshot an alias before mutating; CoW must keep it intact.
+            let alias = guard.clone();
+            let alias_model: Vec<GuessId> = model.iter().copied().collect();
+            match op {
+                0 => {
+                    guard.insert(g);
+                    model.insert(g);
+                }
+                1 => {
+                    guard.remove(g);
+                    model.remove(&g);
+                }
+                _ => {
+                    guard.union_with(&other);
+                    model.extend(other.iter());
+                }
+            }
+            let got: Vec<GuessId> = guard.iter().collect();
+            let want: Vec<GuessId> = model.iter().copied().collect();
+            prop_assert_eq!(&got, &want, "contents/order diverged from model");
+            prop_assert_eq!(guard.len(), model.len());
+            prop_assert_eq!(guard.is_empty(), model.is_empty());
+            for x in &model {
+                prop_assert!(guard.contains(*x));
+            }
+            // Same set ⇒ the difference in both directions is empty.
+            let model_guard: Guard = model.iter().copied().collect();
+            prop_assert!(guard.new_guards(&model_guard).is_empty());
+            prop_assert_eq!(model_guard.new_guard_count(&guard), 0);
+            prop_assert_eq!(&guard, &model_guard);
+            // The pre-mutation alias still reads its old contents.
+            let alias_now: Vec<GuessId> = alias.iter().collect();
+            prop_assert_eq!(alias_now, alias_model, "mutation leaked into alias");
+        }
+    }
+
+    /// Mutating aliased clones of a shared guard never disturbs the
+    /// original or each other (CoW isolation in every direction).
+    #[test]
+    fn aliased_clones_mutate_independently(
+        base in arb_guard(), g in arb_guess(), extra in arb_guard()
+    ) {
+        let before: Vec<GuessId> = base.iter().collect();
+        let mut grown = base.clone();
+        grown.insert(g);
+        let mut shrunk = base.clone();
+        shrunk.remove(g);
+        let mut merged = base.clone();
+        merged.union_with(&extra);
+        let after: Vec<GuessId> = base.iter().collect();
+        prop_assert_eq!(before, after, "clone mutations leaked into original");
+        prop_assert!(grown.contains(g));
+        prop_assert!(!shrunk.contains(g));
+        for x in extra.iter() {
+            prop_assert!(merged.contains(x));
+        }
+        prop_assert_eq!(grown.len(), base.len() + usize::from(!base.contains(g)));
+        prop_assert_eq!(shrunk.len(), base.len() - usize::from(base.contains(g)));
+    }
+}
+
 /// Naive cycle oracle: DFS over the edge list.
 fn has_cycle(edges: &[(GuessId, GuessId)]) -> bool {
     let mut adj: HashMap<GuessId, Vec<GuessId>> = HashMap::new();

@@ -167,7 +167,7 @@ fn delivery_to_forked_threads_tracks_intervals_independently() {
 fn note_send_builds_dependency_tree_for_targeted_control() {
     let mut c = ProcessCore::new(ProcessId(0), CoreConfig::default());
     let r = c.fork(0, 1);
-    let guard = c.guard_for_send(r.right_thread);
+    let guard = c.guard_for_send(r.right_thread).clone();
     c.note_send(&guard, ProcessId(5));
     c.note_send(&guard, ProcessId(6));
     c.note_send(&guard, ProcessId(0)); // self: ignored

@@ -266,7 +266,7 @@ struct Checkpoint {
     consumed_len: usize,
     oblog_len: usize,
     out_buf_len: usize,
-    call_stack: Vec<(ProcessId, CallId, String)>,
+    call_stack: Vec<(ProcessId, CallId, opcsp_core::Label)>,
     fork_guess: Option<GuessId>,
 }
 
@@ -277,7 +277,7 @@ struct RtThread {
     consumed: Vec<(u32, Envelope)>,
     oblog: Vec<Observable>,
     out_buf: Vec<Value>,
-    call_stack: Vec<(ProcessId, CallId, String)>,
+    call_stack: Vec<(ProcessId, CallId, opcsp_core::Label)>,
     fork_guess: Option<GuessId>,
 }
 
@@ -529,10 +529,10 @@ impl Actor {
             from: self.pid,
             from_thread: tid,
             to,
-            guard: self.core.guard_for_send(tid),
+            guard: self.core.guard_for_send(tid).clone(),
             kind,
             payload: payload.clone(),
-            label,
+            label: label.into(),
         };
         self.stats.data_messages += 1;
         self.core.note_send(&env.guard, to);

@@ -58,7 +58,7 @@ fn check_time_monotonicity(trace: &Trace, out: &mut Vec<Violation>) {
 
 fn check_causal_delivery(trace: &Trace, out: &mut Vec<Violation>) {
     // Multiset of outstanding sends keyed by (from, to, label).
-    let mut outstanding: BTreeMap<(ProcessId, ProcessId, String), i64> = BTreeMap::new();
+    let mut outstanding: BTreeMap<(ProcessId, ProcessId, opcsp_core::Label), i64> = BTreeMap::new();
     for ev in trace.iter() {
         match ev {
             TraceEvent::Send {

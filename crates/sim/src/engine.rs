@@ -15,8 +15,8 @@ use crate::behavior::{Behavior, BehaviorState, Effect, Resume};
 use crate::latency::{LatencyModel, LatencySampler};
 use crate::trace::{SimStats, Trace, TraceEvent, VTime};
 use opcsp_core::{
-    ArrivalVerdict, CallId, Control, CoreConfig, DataKind, Envelope, GuessId, JoinDecision, MsgId,
-    ProcessCore, ProcessId, ThreadId, Value,
+    ArrivalVerdict, CallId, Control, CoreConfig, DataKind, Envelope, GuessId, JoinDecision, Label,
+    MsgId, ProcessCore, ProcessId, ThreadId, Value,
 };
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -124,7 +124,7 @@ struct Boundary {
     consumed_len: usize,
     oblog_len: usize,
     out_buf_len: usize,
-    call_stack: Vec<(ProcessId, CallId, String)>,
+    call_stack: Vec<(ProcessId, CallId, Label)>,
     fork_guess: Option<GuessId>,
 }
 
@@ -145,7 +145,7 @@ struct SimThread {
     /// External outputs awaiting commit (interval tag, payload).
     out_buf: Vec<(u32, Value)>,
     /// Calls currently being serviced (innermost last).
-    call_stack: Vec<(ProcessId, CallId, String)>,
+    call_stack: Vec<(ProcessId, CallId, Label)>,
     /// The guess this thread forked and must verify at its join point.
     fork_guess: Option<GuessId>,
 }
@@ -616,7 +616,8 @@ impl World {
         payload: Value,
         label: String,
     ) {
-        let guard = self.procs[pid.0 as usize].core.guard_for_send(tid);
+        let label: Label = label.into();
+        let guard = self.procs[pid.0 as usize].core.guard_for_send(tid).clone();
         let env = Envelope {
             id: MsgId(self.next_msg),
             from: pid,

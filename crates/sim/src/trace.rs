@@ -2,7 +2,7 @@
 //! used to re-render the paper's time-line figures, compute statistics, and
 //! check Theorem 1 (trace equivalence with the pessimistic execution).
 
-use opcsp_core::{Control, Guard, GuessId, ProcessId, ThreadId, Value};
+use opcsp_core::{Control, Guard, GuessId, Label, ProcessId, ThreadId, Value};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -17,7 +17,7 @@ pub enum TraceEvent {
         t: VTime,
         from: ThreadId,
         to: ProcessId,
-        label: String,
+        label: Label,
         guard: Guard,
     },
     /// A data message was delivered to (consumed by) a thread.
@@ -25,14 +25,14 @@ pub enum TraceEvent {
         t: VTime,
         to: ThreadId,
         from: ProcessId,
-        label: String,
+        label: Label,
         guard: Guard,
     },
     /// An arriving message was discarded as an orphan (§4.2.3).
     Orphan {
         t: VTime,
         at: ProcessId,
-        label: String,
+        label: Label,
         guess: GuessId,
     },
     /// A fork split a thread (§4.2.1).
@@ -123,7 +123,7 @@ impl TraceEvent {
 
 /// Aggregate statistics of one run — the raw material of the experiment
 /// tables in EXPERIMENTS.md.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     pub forks: u64,
     pub commits: u64,

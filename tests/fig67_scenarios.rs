@@ -78,11 +78,11 @@ fn fig6_overlap_beats_pessimistic() {
     );
     // Z's C2 is sent before X receives R1.
     let t_c2 = opt.trace.iter().find_map(|e| match e {
-        TraceEvent::Send { t, label, .. } if label == "C2" => Some(*t),
+        TraceEvent::Send { t, label, .. } if &**label == "C2" => Some(*t),
         _ => None,
     });
     let t_r1_recv = opt.trace.iter().find_map(|e| match e {
-        TraceEvent::Deliver { t, label, to, .. } if label == "R1" && to.process == X => Some(*t),
+        TraceEvent::Deliver { t, label, to, .. } if &**label == "R1" && to.process == X => Some(*t),
         _ => None,
     });
     assert!(t_c2.unwrap() < t_r1_recv.unwrap());

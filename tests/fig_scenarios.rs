@@ -39,7 +39,7 @@ fn fig2_pessimistic_is_strictly_serial() {
             _ => None,
         })
         .collect();
-    let order: Vec<&str> = sends.iter().map(|(_, l)| l.as_str()).collect();
+    let order: Vec<&str> = sends.iter().map(|(_, l)| &**l).collect();
     assert_eq!(order, vec!["C1", "C2", "R2", "R1", "C3", "R3"]);
 }
 
@@ -73,7 +73,7 @@ fn fig3_successful_streaming_overlaps_and_commits() {
         .trace
         .iter()
         .find_map(|e| match e {
-            TraceEvent::Send { t, label, .. } if label == "C3" => Some(*t),
+            TraceEvent::Send { t, label, .. } if &**label == "C3" => Some(*t),
             _ => None,
         })
         .expect("C3 sent");
@@ -81,7 +81,7 @@ fn fig3_successful_streaming_overlaps_and_commits() {
         .trace
         .iter()
         .find_map(|e| match e {
-            TraceEvent::Send { t, label, .. } if label == "R1" => Some(*t),
+            TraceEvent::Send { t, label, .. } if &**label == "R1" => Some(*t),
             _ => None,
         })
         .expect("R1 sent");

@@ -13,7 +13,7 @@ fn x1() -> GuessId {
 }
 
 /// (label, guard) pairs of every data-message send, in send order.
-fn send_sequence(r: &opcsp_sim::SimResult) -> Vec<(String, Guard)> {
+fn send_sequence(r: &opcsp_sim::SimResult) -> Vec<(opcsp_core::Label, Guard)> {
     r.trace
         .iter()
         .filter_map(|e| match e {
@@ -30,13 +30,13 @@ fn fig3_send_sequence_golden() {
         ..UpdateWriteOpts::default()
     });
     let seq = send_sequence(&r);
-    let expected = vec![
-        ("C1".to_string(), Guard::empty()),      // left thread's Update
-        ("C3".to_string(), Guard::single(x1())), // speculative Write
-        ("C2".to_string(), Guard::empty()),      // Y's write-through
-        ("R2".to_string(), Guard::empty()),
-        ("R3".to_string(), Guard::single(x1())), // Z picked up x1 from C3
-        ("R1".to_string(), Guard::empty()),
+    let expected: Vec<(opcsp_core::Label, Guard)> = vec![
+        ("C1".into(), Guard::empty()),      // left thread's Update
+        ("C3".into(), Guard::single(x1())), // speculative Write
+        ("C2".into(), Guard::empty()),      // Y's write-through
+        ("R2".into(), Guard::empty()),
+        ("R3".into(), Guard::single(x1())), // Z picked up x1 from C3
+        ("R1".into(), Guard::empty()),
     ];
     assert_eq!(seq, expected, "figure 3 message sequence changed");
     // Exactly one commit of x1 at the owner, none aborted.
@@ -54,7 +54,7 @@ fn fig4_contamination_golden() {
     // The pre-fault prefix: C1{} and C3{x1} leave X; Z (contaminated by
     // C3) replies R3{x1}; then services C2 — so R2 carries {x1}; Y's R1
     // carries {x1} too. The early-return check kills x1 on R1's arrival.
-    let prefix: Vec<(String, Guard)> = vec![
+    let prefix: Vec<(opcsp_core::Label, Guard)> = vec![
         ("C1".into(), Guard::empty()),
         ("C3".into(), Guard::single(x1())),
         ("C2".into(), Guard::empty()),      // Y forwards concurrently
@@ -69,13 +69,13 @@ fn fig4_contamination_golden() {
     );
     // Recovery: Z re-serves C2 cleanly and the Write re-executes: the tail
     // must contain a clean R2, R1, then C3/R3 with empty guards.
-    let tail: Vec<&(String, Guard)> = seq[6..].iter().collect();
+    let tail: Vec<&(opcsp_core::Label, Guard)> = seq[6..].iter().collect();
     assert!(
-        tail.iter().any(|(l, g)| l == "R1" && g.is_empty()),
+        tail.iter().any(|(l, g)| &**l == "R1" && g.is_empty()),
         "clean R1 after recovery: {tail:?}"
     );
     assert!(
-        tail.iter().any(|(l, g)| l == "C3" && g.is_empty()),
+        tail.iter().any(|(l, g)| &**l == "C3" && g.is_empty()),
         "sequential Write after abort: {tail:?}"
     );
     assert_eq!(r.trace.aborted_guesses(), vec![x1()]);
@@ -90,7 +90,7 @@ fn fig5_orphan_golden() {
         ..UpdateWriteOpts::default()
     });
     // The speculative C3 (and only speculative traffic) is orphaned.
-    let orphans: Vec<(ProcessId, String)> = r
+    let orphans: Vec<(ProcessId, opcsp_core::Label)> = r
         .trace
         .iter()
         .filter_map(|e| match e {
@@ -99,7 +99,7 @@ fn fig5_orphan_golden() {
         })
         .collect();
     assert!(
-        orphans.iter().all(|(_, l)| l == "C3" || l == "R3"),
+        orphans.iter().all(|(_, l)| &**l == "C3" || &**l == "R3"),
         "only speculative messages may be orphaned: {orphans:?}"
     );
     assert!(!orphans.is_empty());

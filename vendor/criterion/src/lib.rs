@@ -1,0 +1,320 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the subset of the
+//! criterion 0.5 API this workspace's benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `sample_size`, `measurement_time`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology: each benchmark is warmed up, then timed over `sample_size`
+//! samples whose per-sample iteration count is calibrated so one sample
+//! runs ≈ `measurement_time / sample_size`. The median, minimum, and mean
+//! ns/iter are printed — enough fidelity for before/after comparisons in
+//! this repo (no HTML reports, no statistical regression analysis).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one parameterized benchmark: `"<function>/<parameter>"`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    median_ns: f64,
+    min_ns: f64,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, calibrating the per-sample iteration count first.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up & calibration: find how many iterations fit in one
+        // sample slot (~measurement_time / sample_size).
+        let slot = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let el = t0.elapsed().as_secs_f64();
+            if el >= slot.min(0.05) || iters_per_sample >= 1 << 30 {
+                if el > 0.0 {
+                    let target = (slot / (el / iters_per_sample as f64)).max(1.0);
+                    iters_per_sample = (target as u64).clamp(1, 1 << 30);
+                }
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(4);
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let el = t0.elapsed().as_nanos() as f64;
+            samples.push(el / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_ns = samples[samples.len() / 2];
+        let min_ns = samples[0];
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.result = Some(Sample {
+            median_ns,
+            min_ns,
+            mean_ns,
+            iters: total_iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, measurement_time: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        measurement_time,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(s) => println!(
+            "{name:<44} time: [{} {} {}]  ({} iters)",
+            fmt_ns(s.min_ns),
+            fmt_ns(s.median_ns),
+            fmt_ns(s.mean_ns),
+            s.iters
+        ),
+        None => println!("{name:<44} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.name);
+        if self.criterion.matches(&name) {
+            run_one(&name, self.sample_size, self.measurement_time, &mut f);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.name);
+        if self.criterion.matches(&name) {
+            run_one(&name, self.sample_size, self.measurement_time, &mut |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Ignored throughput annotations (API compatibility only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; flags (e.g. --bench) are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            sample_size: 60,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+            measurement_time,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        if self.matches(name) {
+            run_one(name, self.sample_size, self.measurement_time, &mut f);
+        }
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+        };
+        let mut ran = false;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(10));
+        g.bench_with_input(BenchmarkId::new("x", 4), &4u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("union", 32);
+        assert_eq!(id.name, "union/32");
+    }
+}

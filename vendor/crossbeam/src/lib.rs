@@ -1,0 +1,46 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::channel`'s unbounded MPSC channels
+//! (`unbounded`, `Sender`, `Receiver`, `RecvTimeoutError`), all of which
+//! `std::sync::mpsc` provides with identical semantics for this usage
+//! pattern (senders cloned across threads, one receiver per actor). We
+//! re-export the std types under the crossbeam names so the runtime code
+//! compiles unchanged with no registry access.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{Receiver, Sender};
+
+    /// An unbounded FIFO channel (std mpsc under the hood).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 7);
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn timeout_when_empty() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! the [`Strategy`] trait with `prop_map`, integer-range and tuple
+//! strategies, `collection::{vec, btree_set}`, a character-class regex
+//! string strategy, `any::<T>()`, and the `proptest!` / `prop_assert*!`
+//! macros. Cases are generated from a deterministic per-test seed (derived
+//! from the test name, overridable via `PROPTEST_SEED`); there is **no
+//! shrinking** — on failure the panic message carries the failing case via
+//! the standard assert formatting, and `PROPTEST_CASES` controls the case
+//! count (default 64).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values of type `Value` (no shrinking).
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` combinator (rejection sampling with a retry cap).
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates in a row");
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.generate(rng),)*)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+
+    /// Pattern strings are strategies for matching strings. Supported
+    /// subset: a single bracketed character class (with `\`-escapes and
+    /// `a-z` ranges) followed by a `{lo,hi}` repetition, e.g.
+    /// `"[a-z0-9_]{0,20}"`. Anything else falls back to short
+    /// alphanumeric strings.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (chars, lo, hi) = parse_class_pattern(self).unwrap_or_else(|| {
+                (
+                    ('a'..='z').chain('0'..='9').collect(),
+                    0,
+                    32,
+                )
+            });
+            let len = rng.gen_range(lo..=hi);
+            (0..len)
+                .map(|_| chars[rng.gen_range(0..chars.len())])
+                .collect()
+        }
+    }
+
+    /// Parse `[<class>]{lo,hi}` into (alphabet, lo, hi).
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let mut chars: Vec<char> = Vec::new();
+        let mut it = rest.chars().peekable();
+        let mut closed = false;
+        let mut tail = String::new();
+        while let Some(c) = it.next() {
+            if closed {
+                tail.push(c);
+                continue;
+            }
+            match c {
+                ']' => closed = true,
+                '\\' => {
+                    let e = it.next()?;
+                    chars.push(match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    });
+                }
+                _ => {
+                    // Range like a-z (a '-' not followed by a class char is
+                    // literal).
+                    if it.peek() == Some(&'-') {
+                        let mut la = it.clone();
+                        la.next(); // consume '-'
+                        match la.peek() {
+                            Some(&end) if end != ']' => {
+                                it = la;
+                                let end = it.next()?;
+                                for v in (c as u32)..=(end as u32) {
+                                    chars.push(char::from_u32(v)?);
+                                }
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    chars.push(c);
+                }
+            }
+        }
+        if !closed || chars.is_empty() {
+            return None;
+        }
+        let rep = tail.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = rep.split_once(',')?;
+        Some((chars, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Types with a canonical strategy (stand-in for `proptest::arbitrary`).
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-range integer strategy (includes MIN/MAX occasionally by
+    /// sampling edge cases with probability 1/16).
+    #[derive(Debug, Clone, Copy)]
+    pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for FullRange<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    if rng.gen_range(0u32..16) == 0 {
+                        [<$t>::MIN, <$t>::MAX, 0, 1][rng.gen_range(0usize..4)]
+                    } else {
+                        rng.gen::<$t>()
+                    }
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FullRange(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> Self::Strategy {
+            AnyBool
+        }
+    }
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Vec of `lens` elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        lens: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, lens: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, lens }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = sample_len(rng, &self.lens);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// BTreeSet with *up to* the sampled number of elements (duplicates
+    /// collapse, as in real proptest's lower-bound-relaxed behavior).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        lens: Range<usize>,
+    }
+
+    pub fn btree_set<S>(element: S, lens: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, lens }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let n = sample_len(rng, &self.lens);
+            let mut out = BTreeSet::new();
+            for _ in 0..n.saturating_mul(2) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    fn sample_len(rng: &mut StdRng, lens: &Range<usize>) -> usize {
+        if lens.start >= lens.end {
+            lens.start
+        } else {
+            rng.gen_range(lens.clone())
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::*;
+
+    /// Per-test deterministic seed: FNV-1a of the test name, XORed with
+    /// `PROPTEST_SEED` when set.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                h ^= v;
+            }
+        }
+        h
+    }
+
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    pub fn new_rng(name: &str, case: u64) -> StdRng {
+        StdRng::seed_from_u64(seed_for(name) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests. Each case draws every argument from its
+/// strategy and runs the body; a panic fails the test with the case's
+/// values visible in the assertion message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => { $crate::proptest! { $($rest)* } };
+    ($($(#[$meta:meta])* fn $name:ident($($parm:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::new_rng(stringify!($name), __case);
+                    $(let $parm = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when the assumption fails. Without shrinking
+/// machinery we simply `continue` to the next case; usable only directly
+/// inside a `proptest!` body loop.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..9, b in 0i64..=5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((0..=5).contains(&b));
+        }
+
+        #[test]
+        fn tuples_and_maps(p in (0u32..4, 0u32..3).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(p <= 32);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u8..255, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn btree_set_bounded(s in crate::collection::btree_set(0u32..100, 0..12)) {
+            prop_assert!(s.len() < 12);
+        }
+
+        #[test]
+        fn string_class_pattern(s in "[a-c0-1]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| "abc01".contains(c)));
+        }
+
+        #[test]
+        fn any_int_generates(x in any::<i32>()) {
+            let _ = x.wrapping_add(1);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let mut a = crate::test_runner::new_rng("t", 3);
+        let mut b = crate::test_runner::new_rng("t", 3);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}
