@@ -15,7 +15,8 @@ fn env_with(to: ProcessId, guard: Guard) -> Envelope {
         from: ProcessId(9),
         from_thread: 0,
         to,
-        guard,
+        guard: guard.into(),
+        table_acks: vec![],
         kind: DataKind::Send,
         payload: Value::Int(1),
         label: "M".into(),

@@ -4,7 +4,8 @@
 //!   figures             — everything
 //!   figures fig3 e1 t1  — selected items
 //!
-//! Items: fig1..fig7, e1, e2, e3, e4, e5, e6, e8, e9, e10, chain, t1.
+//! Items: fig1..fig7, e1, e2, e3, e4, e5, e6, e8, e9, e10, chain, t1,
+//! interner.
 
 use opcsp_bench::experiments as ex;
 
@@ -43,6 +44,7 @@ fn main() {
         ("e10", ex::e10_checkpoint_policy),
         ("chain", ex::chain_depth),
         ("t1", ex::t1_equivalence),
+        ("interner", ex::interner_stats),
     ];
     for (name, f) in tables {
         if want(name) {

@@ -6,96 +6,151 @@
 //! commit guard set" — provided incarnation start tables are available to
 //! re-expand the implied set on receipt.
 //!
-//! The engines run on *full* guard sets (ground truth); this module provides
-//! the compact wire encoding and its expansion, plus size accounting for the
-//! E8 ablation. Property tests (in `tests/` and below) check that
-//! `expand(compact(G))` reproduces exactly the live guesses of `G`.
+//! This is the data model behind the production wire format (`wire`): a
+//! [`Span`] per process — latest guess plus the lowest member index — and
+//! the expansion walk that reconstructs the implied set, plus size
+//! accounting for the E8 ablation. Engines still *hold* full guard sets in
+//! memory (ground truth for resolution); compaction happens at the wire
+//! boundary. Property tests (in `tests/` and below) check that
+//! `expand(compress(G))` reproduces exactly the live guesses of `G`.
 
 use crate::guard::Guard;
 use crate::history::History;
-use crate::ids::{GuessId, ProcessId};
+use crate::ids::{ForkIndex, GuessId, Incarnation, ProcessId};
 use std::collections::BTreeMap;
 
-/// A compacted guard: at most one guess per process — the maximum
-/// (incarnation, index) pair, which implies all earlier live guesses of that
-/// process.
+/// One process's contribution to a compact guard: its latest guess plus the
+/// lowest member fork index (the *floor*). The floor pins the bottom of the
+/// implied range: commits strip a guard from the bottom and aborts from the
+/// top, so a live per-process member set is a contiguous index range
+/// `floor..=latest.index` — without the floor, a receiver that has not yet
+/// heard the commits would re-fabricate the resolved prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    pub latest: GuessId,
+    pub floor: ForkIndex,
+}
+
+/// A compacted guard: per process, the maximum (incarnation, index) pair —
+/// which implies all earlier guesses of that process down to the floor.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CompactGuard {
-    per_process: BTreeMap<ProcessId, GuessId>,
+    per_process: BTreeMap<ProcessId, Span>,
+}
+
+impl std::hash::Hash for CompactGuard {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Mirrors Guard's manual Hash: BTreeMap itself isn't Hash, but its
+        // ordered entries are a canonical sequence.
+        for s in self.per_process.values() {
+            s.hash(state);
+        }
+    }
 }
 
 impl CompactGuard {
-    /// Compact a full guard set: keep only the latest guess per process.
+    /// Compact a full guard set: keep only the latest guess and the lowest
+    /// member index per process.
     pub fn compress(full: &Guard) -> CompactGuard {
-        let mut per_process: BTreeMap<ProcessId, GuessId> = BTreeMap::new();
+        let mut per_process: BTreeMap<ProcessId, Span> = BTreeMap::new();
         for g in full.iter() {
             per_process
                 .entry(g.process)
-                .and_modify(|cur| {
-                    if (g.incarnation, g.index) > (cur.incarnation, cur.index) {
-                        *cur = g;
+                .and_modify(|s| {
+                    if (g.incarnation, g.index) > (s.latest.incarnation, s.latest.index) {
+                        s.latest = g;
                     }
+                    s.floor = s.floor.min(g.index);
                 })
-                .or_insert(g);
+                .or_insert(Span {
+                    latest: g,
+                    floor: g.index,
+                });
         }
         CompactGuard { per_process }
     }
 
-    /// Expand back to a full guard using the receiver's commit `History`.
+    /// Core expansion walk, parameterized over the incarnation-start source
+    /// and the membership filter. Shared by [`expand`](Self::expand) (local
+    /// history: the sender's self-check and the E8 size accounting) and the
+    /// wire decode path (`wire::decode`, which substitutes the sender-view
+    /// table shipped on the message and keeps receiver-known-aborted
+    /// members so the orphan check can see them).
     ///
-    /// Exactness requires the history to have observed the sender's
-    /// incarnation starts (receipt of `ABORT(x_{i,n})` records that
-    /// incarnation `i+1` starts at `n`); without that knowledge, the
-    /// incarnation of indices below a later-incarnation retained guess is
-    /// ambiguous. This is why the engines run on full guard sets and the
-    /// compact form is evaluated analytically (E8) — a production wire
-    /// format would ship incarnation tables alongside, as §4.1.5 assumes.
+    /// For each retained guess `x_{i,n}` this reconstructs fork indexes
+    /// `floor..n` (index 0 is the process's root thread, never a guess —
+    /// forks pre-increment the index, so floors are ≥ 1) and assigns each to
+    /// the highest incarnation `c ≤ i` whose effective start is ≤ the index.
+    /// The assignment is monotone in the index, so one cursor walks the
+    /// table downward in O(n + i) total instead of the old O(n·i) per-index
+    /// rescan.
     ///
-    /// Mechanics:
-    /// for each retained guess `x_{i,n}`, include every guess of process `x`
-    /// that logically precedes it (same-process fork order, excluding
-    /// implicitly aborted incarnation segments) and is not known committed
-    /// or aborted.
-    ///
-    /// The receiver cannot know of guesses it has never heard about, so the
-    /// expansion enumerates indices `0..n`; guesses known committed are
-    /// omitted (they are no longer guard members by definition).
-    pub fn expand(&self, history: &History) -> Guard {
+    /// `start_of` returns the effective start of an incarnation `≥ 1` (use
+    /// `ForkIndex::MAX` for "unknown": the slot is then never assigned).
+    pub fn expand_via(
+        &self,
+        mut start_of: impl FnMut(ProcessId, Incarnation) -> ForkIndex,
+        mut keep: impl FnMut(GuessId) -> bool,
+    ) -> Guard {
         // Accumulate into a Vec and build the guard in one shot: inserting
         // into a shared guard rebuilds its storage, so element-wise inserts
         // would cost O(n²) for long chains.
         let mut out = Vec::new();
-        for (&p, &latest) in &self.per_process {
+        for (&p, &Span { latest, floor }) in &self.per_process {
             out.push(latest);
-            for idx in 0..latest.index {
-                // Determine which incarnation idx belongs to in latest's
-                // past: the highest incarnation ≤ latest.incarnation whose
-                // start is ≤ idx. Without a table, incarnation 0.
-                let inc = match history.incarnation_table(p) {
-                    Some(t) => {
-                        let mut chosen = crate::ids::Incarnation(0);
-                        for i in 0..=latest.incarnation.0 {
-                            if let Some(s) = t.start_of(crate::ids::Incarnation(i)) {
-                                if s <= idx {
-                                    chosen = crate::ids::Incarnation(i);
-                                }
-                            }
-                        }
-                        chosen
+            if latest.index <= floor {
+                continue;
+            }
+            // Effective start of each incarnation 0..=i; incarnation 0
+            // always starts at index 0.
+            let eff: Vec<ForkIndex> = (0..=latest.incarnation.0)
+                .map(|i| {
+                    if i == 0 {
+                        0
+                    } else {
+                        start_of(p, Incarnation(i))
                     }
-                    None => crate::ids::Incarnation(0),
-                };
+                })
+                .collect();
+            let mut c = eff.len() - 1;
+            for idx in (floor..latest.index).rev() {
+                // The candidate set {c : eff[c] ≤ idx} only shrinks as idx
+                // decreases, so the cursor never moves back up.
+                while c > 0 && eff[c] > idx {
+                    c -= 1;
+                }
                 let g = GuessId {
                     process: p,
-                    incarnation: inc,
+                    incarnation: Incarnation(c as u32),
                     index: idx,
                 };
-                if !history.is_committed(g) && !history.is_aborted(g) {
+                if keep(g) {
                     out.push(g);
                 }
             }
         }
         out.into_iter().collect()
+    }
+
+    /// Expand back to a full guard using a commit `History`.
+    ///
+    /// Exactness requires the history to hold the sender's incarnation
+    /// starts; the wire format ships them alongside the compact guard (as
+    /// §4.1.5 assumes — see `wire`), and the sender verifies
+    /// `expand(compress(G)) == G` against its own history before shipping
+    /// the compact form. Members known committed or aborted are omitted:
+    /// against the *sender's* history that makes the expansion exactly the
+    /// live guard, since resolution strips those members from live guards.
+    pub fn expand(&self, history: &History) -> Guard {
+        self.expand_via(
+            |p, i| {
+                history
+                    .incarnation_table(p)
+                    .and_then(|t| t.start_of(i))
+                    .unwrap_or(ForkIndex::MAX)
+            },
+            |g| !history.is_committed(g) && !history.is_aborted(g),
+        )
     }
 
     pub fn len(&self) -> usize {
@@ -106,12 +161,30 @@ impl CompactGuard {
         self.per_process.is_empty()
     }
 
-    /// Wire size of the compact encoding (cf. `Guard::wire_size`).
+    /// Wire size of the compact encoding (cf. `Guard::wire_size`): a
+    /// two-byte count plus, per retained guess, the identifier (sized from
+    /// its actual field widths) and the floor index.
     pub fn wire_size(&self) -> usize {
-        2 + self.per_process.len() * 12
+        2 + self.per_process.len() * (GuessId::WIRE_BYTES + std::mem::size_of::<ForkIndex>())
     }
 
+    /// How many incarnation-table rows a self-contained compact message
+    /// must carry: one per non-zero incarnation up to each retained guess's
+    /// (incarnation 0 starts at index 0 by definition).
+    pub fn rows_needed(&self) -> usize {
+        self.per_process
+            .values()
+            .map(|s| s.latest.incarnation.0 as usize)
+            .sum()
+    }
+
+    /// The retained (latest) guess of each member process.
     pub fn iter(&self) -> impl Iterator<Item = GuessId> + '_ {
+        self.per_process.values().map(|s| s.latest)
+    }
+
+    /// The per-process spans (latest guess + floor index).
+    pub fn spans(&self) -> impl Iterator<Item = Span> + '_ {
         self.per_process.values().copied()
     }
 }
@@ -123,6 +196,10 @@ pub struct GuardSizes {
     pub full_bytes: usize,
     pub compact_entries: usize,
     pub compact_bytes: usize,
+    /// Bytes of piggybacked incarnation-table rows a self-contained compact
+    /// message would carry (the ack protocol usually suppresses these after
+    /// the first send — engine stats count what was actually shipped).
+    pub table_bytes: usize,
 }
 
 /// Measure both encodings of a guard.
@@ -133,6 +210,7 @@ pub fn measure(full: &Guard) -> GuardSizes {
         full_bytes: full.wire_size(),
         compact_entries: c.len(),
         compact_bytes: c.wire_size(),
+        table_bytes: c.rows_needed() * crate::wire::TableRow::WIRE_BYTES,
     }
 }
 
@@ -157,8 +235,9 @@ mod tests {
     #[test]
     fn expand_reconstructs_contiguous_streaming_guards() {
         // Call streaming produces guards {x1, x2, ..., xn}; compaction keeps
-        // x_n; expansion (with an empty history) reproduces {x0..xn}.
-        let full = Guard::from_iter((0..6).map(|i| g(0, i)));
+        // x_n; expansion (with an empty history) reproduces {x1..xn}. Fork
+        // indexes start at 1 — index 0 is the root thread, never a guess.
+        let full = Guard::from_iter((1..=6).map(|i| g(0, i)));
         let c = CompactGuard::compress(&full);
         let h = History::new();
         assert_eq!(c.expand(&h), full);
@@ -176,31 +255,87 @@ mod tests {
     }
 
     #[test]
+    fn floor_pins_committed_prefix_even_without_history() {
+        // Mid-stream guard {x3..x5}: the x1,x2 prefix already committed at
+        // the sender. The span floor keeps an expander with *no* resolution
+        // knowledge (the receiver's position) from re-fabricating it.
+        let full = Guard::from_iter((3..=5).map(|i| g(0, i)));
+        let c = CompactGuard::compress(&full);
+        assert_eq!(c.expand(&History::new()), full);
+        assert_eq!(c.spans().next().unwrap().floor, 3);
+    }
+
+    #[test]
     fn expand_respects_incarnation_boundaries() {
         // x aborted fork 2 and restarted: incarnation 1 starts at index 2.
-        // Latest guess x_{1,4}: its past is x_{0,0}, x_{0,1}, x_{1,2},
-        // x_{1,3} — not x_{0,2}/x_{0,3}.
+        // Latest guess x_{1,4}: its past is x_{0,1}, x_{1,2}, x_{1,3} — not
+        // x_{0,2}/x_{0,3}.
         let mut h = History::new();
         h.record_abort(GuessId::first(ProcessId(0), 2)); // inc 1 starts at 2
         let latest = GuessId::new(ProcessId(0), Incarnation(1), 4);
-        let c = CompactGuard::compress(&Guard::single(latest));
+        let full = Guard::from_iter([
+            GuessId::first(ProcessId(0), 1),
+            GuessId::new(ProcessId(0), Incarnation(1), 2),
+            GuessId::new(ProcessId(0), Incarnation(1), 3),
+            latest,
+        ]);
+        let c = CompactGuard::compress(&full);
         let expanded = c.expand(&h);
-        assert!(expanded.contains(GuessId::first(ProcessId(0), 0)));
         assert!(expanded.contains(GuessId::first(ProcessId(0), 1)));
         assert!(expanded.contains(GuessId::new(ProcessId(0), Incarnation(1), 2)));
         assert!(expanded.contains(GuessId::new(ProcessId(0), Incarnation(1), 3)));
         assert!(expanded.contains(latest));
         assert!(!expanded.contains(GuessId::first(ProcessId(0), 2)));
+        assert_eq!(expanded.len(), 4);
+    }
+
+    #[test]
+    fn expand_handles_nonmonotone_recorded_starts() {
+        // Starts can become non-monotone across incarnations: a late abort
+        // of an early old-incarnation guess lowers an *earlier* slot below
+        // a later one. eff = [0, _, 3] with start(1) lowered to 2: indexes
+        // 3..5 belong to incarnation 2, index 2 to nothing live (implicit
+        // abort), index 1 to incarnation 0.
+        let mut h = History::new();
+        h.record_abort(GuessId::first(ProcessId(0), 5)); // inc 1 starts at 5
+        h.record_abort(GuessId::new(ProcessId(0), Incarnation(1), 3)); // inc 2 at 3
+        h.record_abort(GuessId::first(ProcessId(0), 2)); // lowers inc 1 start to 2
+        let latest = GuessId::new(ProcessId(0), Incarnation(2), 5);
+        let full = Guard::from_iter([
+            GuessId::first(ProcessId(0), 1),
+            GuessId::new(ProcessId(0), Incarnation(1), 2),
+            GuessId::new(ProcessId(0), Incarnation(2), 3),
+            GuessId::new(ProcessId(0), Incarnation(2), 4),
+            latest,
+        ]);
+        let c = CompactGuard::compress(&full);
+        let expanded = c.expand(&h);
+        assert!(expanded.contains(latest));
+        assert!(expanded.contains(GuessId::new(ProcessId(0), Incarnation(2), 4)));
+        assert!(expanded.contains(GuessId::new(ProcessId(0), Incarnation(2), 3)));
+        // Index 2 must be assigned to incarnation 1 (eff start 2), not swept
+        // into incarnation 2 by a naive monotone cursor.
+        assert!(expanded.contains(GuessId::new(ProcessId(0), Incarnation(1), 2)));
+        assert!(expanded.contains(GuessId::first(ProcessId(0), 1)));
         assert_eq!(expanded.len(), 5);
     }
 
     #[test]
     fn measure_shows_compaction_win_for_streaming() {
-        let full = Guard::from_iter((0..32).map(|i| g(0, i)));
+        let full = Guard::from_iter((1..=32).map(|i| g(0, i)));
         let m = measure(&full);
         assert_eq!(m.full_entries, 32);
         assert_eq!(m.compact_entries, 1);
         assert!(m.compact_bytes < m.full_bytes / 10);
+        // First-incarnation guards need no table rows.
+        assert_eq!(m.table_bytes, 0);
+    }
+
+    #[test]
+    fn measure_accounts_for_table_rows() {
+        let latest = GuessId::new(ProcessId(0), Incarnation(2), 5);
+        let m = measure(&Guard::single(latest));
+        assert_eq!(m.table_bytes, 2 * crate::wire::TableRow::WIRE_BYTES);
     }
 
     #[test]

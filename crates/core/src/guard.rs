@@ -399,6 +399,30 @@ pub struct GuardInterner {
     table: HashMap<Guard, Guard>,
     hits: u64,
     misses: u64,
+    purged: u64,
+}
+
+/// Lifetime counters for one process's interner, aggregated per engine for
+/// the figures output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Lookups answered by an existing canonical guard (storage shared).
+    pub hits: u64,
+    /// Lookups that registered a new canonical guard.
+    pub misses: u64,
+    /// Canonical entries dropped because a member guess resolved.
+    pub purged: u64,
+    /// Canonical entries still registered.
+    pub live: u64,
+}
+
+impl InternerStats {
+    pub fn merge(&mut self, other: InternerStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.purged += other.purged;
+        self.live += other.live;
+    }
 }
 
 impl GuardInterner {
@@ -424,7 +448,9 @@ impl GuardInterner {
     /// Drop canonical entries that mention a now-resolved guess — they can
     /// never be requested again (resolved guesses leave all guards).
     pub fn purge_guess(&mut self, g: GuessId) {
+        let before = self.table.len();
         self.table.retain(|k, _| !k.contains(g));
+        self.purged += (before - self.table.len()) as u64;
     }
 
     /// Number of canonical guards currently registered.
@@ -439,6 +465,16 @@ impl GuardInterner {
     /// (hits, misses) over the interner's lifetime — diagnostics.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Full lifetime counters including purges and live entries.
+    pub fn full_stats(&self) -> InternerStats {
+        InternerStats {
+            hits: self.hits,
+            misses: self.misses,
+            purged: self.purged,
+            live: self.table.len() as u64,
+        }
     }
 }
 

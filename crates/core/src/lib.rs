@@ -36,11 +36,12 @@ pub mod message;
 pub mod process;
 pub mod resolve;
 pub mod value;
+pub mod wire;
 
 pub use cdg::{Cdg, EdgeOutcome};
-pub use compact::{measure, CompactGuard, GuardSizes};
+pub use compact::{measure, CompactGuard, GuardSizes, Span};
 pub use cow::CowMap;
-pub use guard::{Guard, GuardInterner};
+pub use guard::{Guard, GuardInterner, InternerStats};
 pub use history::{Fate, History, IncarnationTable};
 pub use ids::{ForkIndex, GuessId, Incarnation, ProcessId, StateIndex, ThreadId};
 pub use message::{CallId, Control, DataKind, Envelope, Label, MsgId};
@@ -49,4 +50,5 @@ pub use process::{
     ProcessCore, ThreadMeta, ThreadPhase,
 };
 pub use resolve::{AbortEffects, CommitEffects, JoinDecision};
+pub use wire::{GuardCodec, SendTag, TableRow, WireGuard, WireState, WireStats};
 pub use value::Value;

@@ -8,6 +8,7 @@
 use crate::guard::Guard;
 use crate::ids::{ForkIndex, GuessId, ProcessId};
 use crate::value::Value;
+use crate::wire::{TableRow, WireGuard};
 use std::fmt;
 use std::sync::Arc;
 
@@ -55,8 +56,14 @@ pub struct Envelope {
     pub to: ProcessId,
     /// Commit guard set of the sending computation at send time (§3.2:
     /// "Each message carries with it a tag containing the commit guard set
-    /// of the computation which sent the message").
-    pub guard: Guard,
+    /// of the computation which sent the message"), in whichever encoding
+    /// the engine's `GuardCodec` selected. Receivers decode compact tags in
+    /// place on arrival (the field becomes `WireGuard::Full`) before any
+    /// classification or delivery logic reads it.
+    pub guard: WireGuard,
+    /// Piggybacked acknowledgements of incarnation-table rows previously
+    /// received from `to` (see `wire`): lets `to` stop attaching them.
+    pub table_acks: Vec<TableRow>,
     pub kind: DataKind,
     pub payload: Value,
     /// Human-readable label for trace rendering ("C1", "R2", ...).
@@ -64,10 +71,18 @@ pub struct Envelope {
 }
 
 impl Envelope {
-    /// Total approximate wire size including the guard tag — used for the
-    /// E8 overhead ablation.
+    /// The decoded guard tag. Panics if the tag is still compact — arrival
+    /// ingestion normalizes every envelope before engines read this.
+    pub fn guard(&self) -> &Guard {
+        self.guard.full()
+    }
+
+    /// Total approximate wire size including the guard tag and any
+    /// piggybacked table rows/acks — used for the E8 overhead ablation.
     pub fn wire_size(&self) -> usize {
-        16 + self.guard.wire_size() + self.payload.wire_size()
+        16 + self.guard.wire_size()
+            + self.payload.wire_size()
+            + self.table_acks.len() * TableRow::WIRE_BYTES
     }
 }
 
@@ -89,8 +104,11 @@ pub enum Control {
     /// `ABORT(x_n)`: the guess aborted; roll back dependents.
     Abort(GuessId),
     /// `PRECEDENCE(x_n, Guard)`: `x_n`'s left thread terminated with a
-    /// non-empty guard — every guess in `Guard` precedes `x_n`.
-    Precedence(GuessId, Guard),
+    /// non-empty guard — every guess in `Guard` precedes `x_n`. The guard
+    /// travels in wire encoding; since PRECEDENCE is broadcast (and may be
+    /// relayed), compact encodings are always self-contained — receivers
+    /// decode with `ProcessCore::decode_control_guard` before resolution.
+    Precedence(GuessId, WireGuard),
 }
 
 impl Control {
@@ -133,7 +151,8 @@ mod tests {
             from: ProcessId(0),
             from_thread: 1,
             to: ProcessId(2),
-            guard: Guard::single(GuessId::first(ProcessId(0), 1)),
+            guard: Guard::single(GuessId::first(ProcessId(0), 1)).into(),
+            table_acks: vec![],
             kind: DataKind::Call(CallId(7)),
             payload: Value::Int(5),
             label: label.into(),
@@ -150,7 +169,7 @@ mod tests {
         let g = GuessId::first(ProcessId(2), 1);
         assert_eq!(Control::Commit(g).to_string(), "COMMIT(z1)");
         assert_eq!(Control::Abort(g).to_string(), "ABORT(z1)");
-        let p = Control::Precedence(g, Guard::single(GuessId::first(ProcessId(0), 1)));
+        let p = Control::Precedence(g, Guard::single(GuessId::first(ProcessId(0), 1)).into());
         assert_eq!(p.to_string(), "PRECEDENCE(z1,{x1})");
     }
 
@@ -158,7 +177,7 @@ mod tests {
     fn subject_extraction() {
         let g = GuessId::new(ProcessId(1), Incarnation(1), 3);
         assert_eq!(Control::Abort(g).subject(), g);
-        assert_eq!(Control::Precedence(g, Guard::empty()).subject(), g);
+        assert_eq!(Control::Precedence(g, Guard::empty().into()).subject(), g);
     }
 
     #[test]
@@ -168,7 +187,7 @@ mod tests {
         assert!(
             Control::Precedence(
                 GuessId::first(ProcessId(0), 1),
-                Guard::single(GuessId::first(ProcessId(1), 1))
+                Guard::single(GuessId::first(ProcessId(1), 1)).into()
             )
             .wire_size()
                 > Control::Commit(GuessId::first(ProcessId(0), 1)).wire_size()

@@ -15,10 +15,11 @@
 
 use crate::cdg::Cdg;
 use crate::cow::CowMap;
-use crate::guard::{Guard, GuardInterner};
+use crate::guard::{Guard, GuardInterner, InternerStats};
 use crate::history::History;
 use crate::ids::{ForkIndex, GuessId, Incarnation, ProcessId, StateIndex};
 use crate::message::{DataKind, Envelope};
+use crate::wire::{GuardCodec, SendTag, WireGuard, WireState, WireStats};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Tuning knobs for the protocol core (ablation switches live here).
@@ -41,6 +42,10 @@ pub struct CoreConfig {
     /// message send processing"). Targeted relays are cooperative: each
     /// process forwards a control message to the dependents *it* created.
     pub targeted_control: bool,
+    /// Guard encoding on the wire (§4.1.2 + §4.1.5): full sets (the
+    /// differential-testing oracle) or compact guards plus piggybacked
+    /// incarnation-table deltas. (E8.)
+    pub codec: GuardCodec,
 }
 
 impl Default for CoreConfig {
@@ -50,6 +55,7 @@ impl Default for CoreConfig {
             early_return_check: true,
             retry_limit: 3,
             targeted_control: false,
+            codec: GuardCodec::Full,
         }
     }
 }
@@ -202,10 +208,13 @@ pub struct ProcessCore {
     /// Canonicalization table for guard tags received by this process, so
     /// repeated identical tags share one allocation.
     interner: GuardInterner,
+    /// Wire-codec state: per-peer row acks and pending ack piggybacks.
+    wire: WireState,
 }
 
 impl ProcessCore {
     pub fn new(id: ProcessId, config: CoreConfig) -> Self {
+        let config_codec = config.codec;
         let mut threads = BTreeMap::new();
         threads.insert(0, ThreadMeta::new(0, Guard::empty(), CowMap::new()));
         ProcessCore {
@@ -220,6 +229,7 @@ impl ProcessCore {
             retries: HashMap::new(),
             dependents: BTreeMap::new(),
             interner: GuardInterner::new(),
+            wire: WireState::new(config_codec),
         }
     }
 
@@ -284,6 +294,11 @@ impl ProcessCore {
         let right_guard = meta.guard.clone();
         self.threads.insert(n, meta);
         self.cdg.add_node(guess);
+        // Record our own incarnation start the same way observers do: the
+        // first fork of a new incarnation pins its start in our table, so
+        // the wire codec can ship rows for our own later-incarnation
+        // guesses (the compact encoder needs rows 1..=i for x_{i,n}).
+        self.history.observe_guess(guess);
         self.own.insert(
             guess,
             OwnGuess {
@@ -321,6 +336,11 @@ impl ProcessCore {
         self.interner.stats()
     }
 
+    /// Full interner counters (hits, misses, purges, live entries).
+    pub fn interner_full_stats(&self) -> InternerStats {
+        self.interner.full_stats()
+    }
+
     /// Forget interned guards mentioning a resolved guess (called from the
     /// commit/abort paths; such guards can never recur).
     pub(crate) fn purge_interned(&mut self, g: GuessId) {
@@ -349,19 +369,50 @@ impl ProcessCore {
         out
     }
 
-    /// §4.2.3 orphan check, performed once when a message arrives at the
-    /// process (before any delivery decision). Also ingests incarnation
-    /// information carried by the guard tag.
-    pub fn classify_arrival(&mut self, env: &Envelope) -> ArrivalVerdict {
-        for g in env.guard.iter() {
+    /// §4.2.3 orphan check, performed when a message arrives at the process
+    /// and again before delivery of pooled messages. On first contact this
+    /// also ingests the wire tag: piggybacked acks are absorbed, attached
+    /// incarnation-table rows merge into the history, and a compact guard
+    /// is decoded in place (the envelope's tag becomes `WireGuard::Full`) —
+    /// re-classification of pooled envelopes finds the tag already decoded.
+    pub fn classify_arrival(&mut self, env: &mut Envelope) -> ArrivalVerdict {
+        self.wire
+            .ingest_data(env.from, &mut env.guard, &mut env.table_acks, &mut self.history);
+        for g in env.guard().iter() {
             self.history.observe_guess(g);
         }
-        for g in env.guard.iter() {
+        for g in env.guard().iter() {
             if self.history.is_aborted(g) {
                 return ArrivalVerdict::Orphan(g);
             }
         }
         ArrivalVerdict::Ok
+    }
+
+    /// Encode the guard tag for a data message from `thread` to `to`
+    /// (§4.2.2 + §5c wire format): the configured encoding plus any table
+    /// acks waiting to piggyback. The returned tag also carries the
+    /// ground-truth full guard for trace events and dependency bookkeeping.
+    pub fn encode_for_send(&mut self, thread: ForkIndex, to: ProcessId) -> SendTag {
+        let full = self.threads[&thread].guard.clone();
+        self.wire.encode_data(&full, &self.history, to)
+    }
+
+    /// Encode a PRECEDENCE guard for broadcast (self-contained: no
+    /// per-receiver ack suppression).
+    pub fn encode_control_guard(&mut self, guard: &Guard) -> WireGuard {
+        self.wire.encode_control(guard, &self.history)
+    }
+
+    /// Decode a PRECEDENCE guard received (or relayed) by this process,
+    /// merging any attached incarnation rows into the history.
+    pub fn decode_control_guard(&mut self, wire: &WireGuard) -> Guard {
+        self.wire.decode_control(wire, &mut self.history)
+    }
+
+    /// Wire-codec counters (compact sends, fallbacks, rows, acks).
+    pub fn wire_stats(&self) -> WireStats {
+        self.wire.stats
     }
 
     /// §4.2.3 delivery choice: among `candidates` (messages available to a
@@ -378,7 +429,7 @@ impl ProcessCore {
         candidates
             .iter()
             .enumerate()
-            .min_by_key(|(i, env)| (self.live_new_guard_count(thread, &env.guard), *i))
+            .min_by_key(|(i, env)| (self.live_new_guard_count(thread, env.guard()), *i))
             .map(|(i, _)| i)
     }
 
@@ -403,7 +454,7 @@ impl ProcessCore {
         if !self.config.early_return_check || !matches!(env.kind, DataKind::Return(_)) {
             return None;
         }
-        env.guard
+        env.guard()
             .iter()
             .filter(|g| g.process == self.id && g.incarnation == self.incarnation)
             .find(|g| g.index > thread)
@@ -418,7 +469,7 @@ impl ProcessCore {
         // Canonicalize the incoming tag first: fan-in servers see the same
         // tag on message after message, so interning turns every repeat
         // into an O(1) storage-sharing hit (small tags pass through free).
-        let tag = self.interner.intern(&env.guard);
+        let tag = self.interner.intern(env.guard());
         let history = &self.history;
         let meta = self.threads.get_mut(&thread).expect("thread exists");
         // A guard tag names the guesses the *sender* depended on at send
@@ -499,7 +550,8 @@ mod tests {
             from: ProcessId(9),
             from_thread: 0,
             to,
-            guard,
+            guard: guard.into(),
+            table_acks: vec![],
             kind,
             payload: Value::Unit,
             label: "M".into(),
@@ -539,10 +591,10 @@ mod tests {
     fn orphan_detection_on_arrival() {
         let mut core = ProcessCore::new(ProcessId(2), CoreConfig::default());
         core.history.record_abort(g(0, 1));
-        let env = env_with_guard(ProcessId(2), Guard::single(g(0, 1)), DataKind::Send);
-        assert_eq!(core.classify_arrival(&env), ArrivalVerdict::Orphan(g(0, 1)));
-        let clean = env_with_guard(ProcessId(2), Guard::empty(), DataKind::Send);
-        assert_eq!(core.classify_arrival(&clean), ArrivalVerdict::Ok);
+        let mut env = env_with_guard(ProcessId(2), Guard::single(g(0, 1)), DataKind::Send);
+        assert_eq!(core.classify_arrival(&mut env), ArrivalVerdict::Orphan(g(0, 1)));
+        let mut clean = env_with_guard(ProcessId(2), Guard::empty(), DataKind::Send);
+        assert_eq!(core.classify_arrival(&mut clean), ArrivalVerdict::Ok);
     }
 
     #[test]
@@ -551,11 +603,11 @@ mod tests {
         // A message tagged with x (incarnation 1, index 3) implies x aborted
         // its incarnation-0 fork 3.
         let newer = GuessId::new(ProcessId(0), Incarnation(1), 3);
-        let env = env_with_guard(ProcessId(2), Guard::single(newer), DataKind::Send);
-        assert_eq!(core.classify_arrival(&env), ArrivalVerdict::Ok);
-        let stale = env_with_guard(ProcessId(2), Guard::single(g(0, 3)), DataKind::Send);
+        let mut env = env_with_guard(ProcessId(2), Guard::single(newer), DataKind::Send);
+        assert_eq!(core.classify_arrival(&mut env), ArrivalVerdict::Ok);
+        let mut stale = env_with_guard(ProcessId(2), Guard::single(g(0, 3)), DataKind::Send);
         assert_eq!(
-            core.classify_arrival(&stale),
+            core.classify_arrival(&mut stale),
             ArrivalVerdict::Orphan(g(0, 3))
         );
     }
@@ -617,11 +669,11 @@ mod tests {
             DataKind::Send,
         );
         // Thread 2's guard is {x1,x2}: only y3 is new (1 new dep).
-        assert_eq!(core.thread(2).guard.new_guard_count(&msg.guard), 1);
+        assert_eq!(core.thread(2).guard.new_guard_count(msg.guard()), 1);
         // Thread 1's guard is {x1}: x2 and y3 are new (2 new deps) — and
         // delivering there would create the x2-self-dependency the paper
         // warns about.
-        assert_eq!(core.thread(1).guard.new_guard_count(&msg.guard), 2);
+        assert_eq!(core.thread(1).guard.new_guard_count(msg.guard()), 2);
     }
 
     #[test]

@@ -538,7 +538,8 @@ mod tests {
             from: ProcessId(9),
             from_thread: 0,
             to: ProcessId(to),
-            guard,
+            guard: guard.into(),
+            table_acks: vec![],
             kind: DataKind::Send,
             payload: Value::Unit,
             label: "M".into(),

@@ -1,0 +1,693 @@
+//! Guard wire encoding (§4.1.2 + §4.1.5): compact tags with piggybacked
+//! incarnation tables.
+//!
+//! §4.1.2 observes that "only the most recent guess from each process needs
+//! to be maintained in the commit guard set" — provided the receiver can
+//! re-expand the implied set, which requires the *sender's* incarnation
+//! start table (§4.1.5). This module is the production wire format that
+//! deviation note DESIGN.md §5c describes: a [`WireGuard`] is either the
+//! full guard set (the differential-testing oracle) or a [`CompactGuard`]
+//! plus the incarnation-table rows the receiver needs and has not yet
+//! acknowledged.
+//!
+//! ## Protocol
+//!
+//! *Sender* (per data message): compress the live guard; collect, for every
+//! retained guess `x_{i,n}` with `i > 0`, the table rows `(x, 1..=i)` from
+//! its own history; self-check that a *receiver-view* expansion — the table
+//! rows alone, with no resolution knowledge — reproduces the guard exactly
+//! (else fall back to the full encoding and count it); suppress rows this
+//! receiver has acked whose value has never changed since first recorded.
+//! The receiver-view check matters: expansion fabricates every index in the
+//! implied span `floor..=latest` (the floor pins a stream's committed
+//! prefix out of the range — see [`crate::compact::Span`]), and a member
+//! the sender knows resolved but the receiver may not could, under targeted
+//! control, join a receiver guard that no future COMMIT will ever clear.
+//! Guards whose live members are not exactly the table-implied span ship
+//! full.
+//!
+//! *Receiver*: merge attached rows into its `History` (starts only move
+//! down), queue an ack for each first-seen row (piggybacked on the next
+//! data message back to that sender), then expand using the **sender-view**
+//! table: attached rows override everything; a suppressed row's value is
+//! recovered from the ack ledger (see below); only then does the local
+//! table serve as a fallback. Receiver-known-committed members are dropped
+//! (they are no longer guard members by definition); receiver-known-aborted
+//! members are *kept* so arrival classification can spot orphans exactly as
+//! it would with a full tag.
+//!
+//! ## Why the ack ledger is exact
+//!
+//! A row `(p, i) = s` may only be suppressed if (a) this receiver acked
+//! `(p, i, s)` and (b) `s` never changed since it was first recorded at the
+//! sender. Starts are min-merged — they only decrease — so (b) means `s` is
+//! the *largest* value the sender ever attached for that slot, and (a)
+//! means `s` is in the receiver's ledger of acked values. The largest
+//! ledger value for the slot is therefore exactly the sender's current
+//! value, even with reordered or long-delayed messages in flight. Rows
+//! whose value did change are attached on every message, and attached rows
+//! always win, so decoding always reconstructs the sender's view of every
+//! index's incarnation — the property that makes compact tags safe: a too-
+//! new assignment would hide an orphan, a too-old one would fabricate one.
+
+use crate::compact::CompactGuard;
+use crate::guard::Guard;
+use crate::history::History;
+use crate::ids::{ForkIndex, GuessId, Incarnation, ProcessId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Which guard encoding an engine puts on the wire (`CoreConfig::codec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GuardCodec {
+    /// Ship full guard sets — the paper's baseline formulation and the
+    /// differential-testing oracle for the compact path.
+    #[default]
+    Full,
+    /// Ship §4.1.2 compact guards plus incarnation-table deltas (§4.1.5),
+    /// falling back to full per message when the sender's self-check says
+    /// compaction would lose information.
+    Compact,
+}
+
+/// One incarnation-table row on the wire: "incarnation `incarnation` of
+/// `process` starts at fork index `start`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableRow {
+    pub process: ProcessId,
+    pub incarnation: Incarnation,
+    pub start: ForkIndex,
+}
+
+impl TableRow {
+    /// Wire bytes per row, derived from the field widths (mirrors
+    /// `GuessId::WIRE_BYTES` — same three fields).
+    pub const WIRE_BYTES: usize = std::mem::size_of::<ProcessId>()
+        + std::mem::size_of::<Incarnation>()
+        + std::mem::size_of::<ForkIndex>();
+}
+
+impl fmt::Display for TableRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]@{}",
+            self.process.letter().to_lowercase(),
+            self.incarnation.0,
+            self.start
+        )
+    }
+}
+
+/// A guard as it travels on the wire: full set or compact + table delta.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WireGuard {
+    Full(Guard),
+    Compact {
+        guard: CompactGuard,
+        rows: Vec<TableRow>,
+    },
+}
+
+impl WireGuard {
+    /// The decoded full guard. Engines call this only after arrival
+    /// ingestion normalized the envelope (compact tags are decoded in
+    /// place); a compact tag here is a protocol bug.
+    pub fn full(&self) -> &Guard {
+        match self {
+            WireGuard::Full(g) => g,
+            WireGuard::Compact { .. } => panic!("compact wire guard read before decode"),
+        }
+    }
+
+    pub fn is_compact(&self) -> bool {
+        matches!(self, WireGuard::Compact { .. })
+    }
+
+    /// Processes owning the guard's members, readable from either encoding
+    /// without decoding — compaction keeps exactly one (latest) guess per
+    /// member process, so the process sets coincide. Targeted control
+    /// dissemination uses this to pick PRECEDENCE recipients.
+    pub fn member_processes(&self) -> Vec<ProcessId> {
+        match self {
+            WireGuard::Full(g) => {
+                let mut ps: Vec<ProcessId> = g.iter().map(|m| m.process).collect();
+                ps.dedup();
+                ps
+            }
+            WireGuard::Compact { guard, .. } => guard.iter().map(|m| m.process).collect(),
+        }
+    }
+
+    /// Bytes this encoding occupies on the wire, including table rows.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            WireGuard::Full(g) => g.wire_size(),
+            WireGuard::Compact { guard, rows } => {
+                guard.wire_size() + 1 + rows.len() * TableRow::WIRE_BYTES
+            }
+        }
+    }
+}
+
+impl From<Guard> for WireGuard {
+    fn from(g: Guard) -> Self {
+        WireGuard::Full(g)
+    }
+}
+
+impl fmt::Display for WireGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireGuard::Full(g) => write!(f, "{g}"),
+            WireGuard::Compact { guard, rows } => {
+                write!(f, "{{")?;
+                for (i, s) in guard.spans().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    match s.floor {
+                        f_ if f_ == s.latest.index => write!(f, "{}", s.latest)?,
+                        1 => write!(f, "..{}", s.latest)?,
+                        f_ => write!(f, "{f_}..{}", s.latest)?,
+                    }
+                }
+                write!(f, "}}")?;
+                if !rows.is_empty() {
+                    write!(f, "+{}t", rows.len())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// What `ProcessCore::encode_for_send` hands the engine for one data
+/// message: the ground-truth full guard (trace events, `note_send`), the
+/// encoded wire tag, and the table acks to piggyback.
+#[derive(Debug, Clone)]
+pub struct SendTag {
+    pub full: Guard,
+    pub wire: WireGuard,
+    pub acks: Vec<TableRow>,
+}
+
+/// Wire-path counters, surfaced per engine in stats output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Data/control guards shipped compact.
+    pub compact_sends: u64,
+    /// Compact-codec sends that fell back to the full encoding (self-check
+    /// failed or the sender lacked a needed table row).
+    pub full_fallbacks: u64,
+    /// Incarnation-table rows attached to outgoing messages.
+    pub rows_sent: u64,
+    /// Row acks piggybacked on outgoing data messages.
+    pub acks_sent: u64,
+    /// Rows merged from incoming messages.
+    pub rows_merged: u64,
+}
+
+impl WireStats {
+    pub fn merge(&mut self, other: WireStats) {
+        self.compact_sends += other.compact_sends;
+        self.full_fallbacks += other.full_fallbacks;
+        self.rows_sent += other.rows_sent;
+        self.acks_sent += other.acks_sent;
+        self.rows_merged += other.rows_merged;
+    }
+}
+
+/// Per-process codec state: which of our rows each peer has acked, which of
+/// each peer's rows we have acked (the decode ledger), and acks waiting to
+/// piggyback.
+#[derive(Debug, Clone, Default)]
+pub struct WireState {
+    codec: GuardCodec,
+    /// Rows this peer has acknowledged receiving from us → suppressible.
+    acked_by: HashMap<ProcessId, HashSet<TableRow>>,
+    /// Rows we have acked to this peer, per slot — the values the peer may
+    /// suppress, kept as a set so the largest (= first, = unchanged current)
+    /// is recoverable.
+    ack_ledger: HashMap<ProcessId, BTreeMap<(ProcessId, Incarnation), BTreeSet<ForkIndex>>>,
+    /// Acks queued for the next data message to each peer.
+    pending_acks: HashMap<ProcessId, Vec<TableRow>>,
+    pub stats: WireStats,
+}
+
+impl WireState {
+    pub fn new(codec: GuardCodec) -> Self {
+        WireState {
+            codec,
+            ..WireState::default()
+        }
+    }
+
+    pub fn codec(&self) -> GuardCodec {
+        self.codec
+    }
+
+    /// Encode one data-message tag for `to`, draining queued acks.
+    pub fn encode_data(&mut self, full: &Guard, history: &History, to: ProcessId) -> SendTag {
+        let mut acks = self.pending_acks.remove(&to).unwrap_or_default();
+        // Dedupe in case the same row was queued twice between sends.
+        acks.sort_unstable();
+        acks.dedup();
+        self.stats.acks_sent += acks.len() as u64;
+        let wire = self.encode(full, history, Some(to));
+        SendTag {
+            full: full.clone(),
+            wire,
+            acks,
+        }
+    }
+
+    /// Encode a control-message guard (PRECEDENCE). Controls are broadcast
+    /// and relayed, so no per-receiver suppression: the encoding is
+    /// self-contained and every receiver (and relay) can decode it from the
+    /// attached rows alone.
+    pub fn encode_control(&mut self, guard: &Guard, history: &History) -> WireGuard {
+        self.encode(guard, history, None)
+    }
+
+    fn encode(&mut self, full: &Guard, history: &History, peer: Option<ProcessId>) -> WireGuard {
+        if self.codec == GuardCodec::Full {
+            return WireGuard::Full(full.clone());
+        }
+        let cg = CompactGuard::compress(full);
+        // The self-check is mandatory, not defensive, and deliberately uses
+        // the receiver's view: expand from the table values alone (the rows
+        // the receiver will hold after this message), keeping every
+        // fabricated member. Only when that equals the live guard exactly
+        // is the compact form faithful for *any* receiver — gaps the sender
+        // knows resolved *inside* the span don't count, because the
+        // receiver may not know. (Committed stream prefixes sit below the
+        // span floor and compact fine.)
+        if let Some(rows) = self.collect_rows(&cg, history, peer) {
+            let receiver_view = cg.expand_via(
+                |p, i| {
+                    history
+                        .incarnation_table(p)
+                        .and_then(|t| t.start_of(i))
+                        .unwrap_or(ForkIndex::MAX)
+                },
+                |_| true,
+            );
+            if receiver_view == *full {
+                self.stats.compact_sends += 1;
+                self.stats.rows_sent += rows.len() as u64;
+                return WireGuard::Compact { guard: cg, rows };
+            }
+        }
+        self.stats.full_fallbacks += 1;
+        WireGuard::Full(full.clone())
+    }
+
+    /// Rows a receiver needs to expand `cg`, minus those `peer` may have
+    /// suppressed. `None` when the sender's own table lacks a needed row.
+    fn collect_rows(
+        &self,
+        cg: &CompactGuard,
+        history: &History,
+        peer: Option<ProcessId>,
+    ) -> Option<Vec<TableRow>> {
+        let mut rows = Vec::new();
+        for latest in cg.iter() {
+            if latest.incarnation.0 == 0 {
+                continue;
+            }
+            let t = history.incarnation_table(latest.process)?;
+            for i in 1..=latest.incarnation.0 {
+                let inc = Incarnation(i);
+                let start = t.start_of(inc)?;
+                let row = TableRow {
+                    process: latest.process,
+                    incarnation: inc,
+                    start,
+                };
+                let suppress = peer.is_some_and(|to| {
+                    !t.start_changed(inc)
+                        && self.acked_by.get(&to).is_some_and(|s| s.contains(&row))
+                });
+                if !suppress {
+                    rows.push(row);
+                }
+            }
+        }
+        Some(rows)
+    }
+
+    /// Receiver side, once per arriving envelope before classification:
+    /// absorb piggybacked acks and decode a compact tag in place (the
+    /// envelope's guard is normalized to `WireGuard::Full`). Idempotent —
+    /// re-classification of pooled envelopes finds nothing left to do.
+    pub fn ingest_data(
+        &mut self,
+        from: ProcessId,
+        guard: &mut WireGuard,
+        acks: &mut Vec<TableRow>,
+        history: &mut History,
+    ) {
+        if !acks.is_empty() {
+            let acked = self.acked_by.entry(from).or_default();
+            for row in acks.drain(..) {
+                acked.insert(row);
+            }
+        }
+        if let WireGuard::Compact { guard: cg, rows } = &*guard {
+            let decoded = self.decode(from, cg, rows, history, true);
+            *guard = WireGuard::Full(decoded);
+        }
+    }
+
+    /// Decode a control-message guard. Rows are merged but not acked (acks
+    /// drive data-path suppression only; a relayed control's rows were
+    /// written by the originator, not the forwarding peer, so they must not
+    /// enter the per-sender ledger).
+    pub fn decode_control(&mut self, wire: &WireGuard, history: &mut History) -> Guard {
+        match wire {
+            WireGuard::Full(g) => g.clone(),
+            WireGuard::Compact { guard, rows } => self.decode(ProcessId(u32::MAX), guard, rows, history, false),
+        }
+    }
+
+    fn decode(
+        &mut self,
+        from: ProcessId,
+        cg: &CompactGuard,
+        rows: &[TableRow],
+        history: &mut History,
+        ack: bool,
+    ) -> Guard {
+        let mut attached: BTreeMap<(ProcessId, Incarnation), ForkIndex> = BTreeMap::new();
+        for r in rows {
+            history.observe_incarnation(r.process, r.incarnation, r.start);
+            self.stats.rows_merged += 1;
+            attached
+                .entry((r.process, r.incarnation))
+                .and_modify(|s| *s = (*s).min(r.start))
+                .or_insert(r.start);
+            if ack {
+                let slot = self
+                    .ack_ledger
+                    .entry(from)
+                    .or_default()
+                    .entry((r.process, r.incarnation))
+                    .or_default();
+                if slot.insert(r.start) {
+                    self.pending_acks.entry(from).or_default().push(*r);
+                }
+            }
+        }
+        let ledger = self.ack_ledger.get(&from);
+        let history = &*history;
+        cg.expand_via(
+            |p, i| {
+                attached
+                    .get(&(p, i))
+                    .copied()
+                    // Suppressed row: largest value we ever acked to this
+                    // sender for the slot (exact — see module docs).
+                    .or_else(|| {
+                        ledger
+                            .and_then(|l| l.get(&(p, i)))
+                            .and_then(|s| s.iter().next_back().copied())
+                    })
+                    .or_else(|| history.incarnation_table(p).and_then(|t| t.start_of(i)))
+                    .unwrap_or(ForkIndex::MAX)
+            },
+            // Keep receiver-known-aborted members: classification needs
+            // them to detect orphans, exactly as a full tag would expose
+            // them. Committed members are gone by definition.
+            |g: GuessId| !history.is_committed(g),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn g(proc_: u32, inc: u32, idx: u32) -> GuessId {
+        GuessId::new(p(proc_), Incarnation(inc), idx)
+    }
+
+    fn streaming_guard(n: u32) -> Guard {
+        (1..=n).map(|i| GuessId::first(p(0), i)).collect()
+    }
+
+    #[test]
+    fn full_codec_passes_guards_through() {
+        let mut w = WireState::new(GuardCodec::Full);
+        let h = History::new();
+        let tag = w.encode_data(&streaming_guard(5), &h, p(1));
+        assert_eq!(tag.wire, WireGuard::Full(streaming_guard(5)));
+        assert_eq!(w.stats.compact_sends, 0);
+    }
+
+    #[test]
+    fn compact_roundtrip_streaming() {
+        let mut sender = WireState::new(GuardCodec::Compact);
+        let mut recv_h = History::new();
+        let mut receiver = WireState::new(GuardCodec::Compact);
+        let h = History::new();
+        let full = streaming_guard(8);
+        let tag = sender.encode_data(&full, &h, p(1));
+        assert!(tag.wire.is_compact(), "contiguous guard must go compact");
+        assert!(tag.wire.wire_size() < full.wire_size() / 4);
+        let mut wire = tag.wire;
+        let mut acks = tag.acks;
+        receiver.ingest_data(p(0), &mut wire, &mut acks, &mut recv_h);
+        assert_eq!(*wire.full(), full);
+    }
+
+    #[test]
+    fn compact_ships_rows_and_receiver_decodes_across_incarnations() {
+        // Sender aborted fork 2: incarnation 1 starts at 2. Its guard is
+        // {x_{0,1}, x_{1,2}, x_{1,3}}; the receiver has no incarnation
+        // knowledge of its own and must rely on the shipped row.
+        let mut sender_h = History::new();
+        sender_h.record_abort(GuessId::first(p(0), 2));
+        let full = Guard::from_iter([g(0, 0, 1), g(0, 1, 2), g(0, 1, 3)]);
+        let mut sender = WireState::new(GuardCodec::Compact);
+        let tag = sender.encode_data(&full, &sender_h, p(1));
+        let WireGuard::Compact { ref rows, .. } = tag.wire else {
+            panic!("expected compact encoding, got {:?}", tag.wire);
+        };
+        assert_eq!(
+            rows.as_slice(),
+            &[TableRow {
+                process: p(0),
+                incarnation: Incarnation(1),
+                start: 2
+            }]
+        );
+
+        let mut receiver = WireState::new(GuardCodec::Compact);
+        let mut recv_h = History::new();
+        let (mut wire, mut acks) = (tag.wire, tag.acks);
+        receiver.ingest_data(p(0), &mut wire, &mut acks, &mut recv_h);
+        // Exact reconstruction: x_{0,2} is NOT fabricated at index 2.
+        assert_eq!(*wire.full(), full);
+        // And the row entered the receiver's history (implicit aborts work).
+        assert!(recv_h.is_aborted(GuessId::first(p(0), 3)));
+    }
+
+    #[test]
+    fn ack_suppresses_rows_and_ledger_recovers_value() {
+        let mut sender_h = History::new();
+        sender_h.record_abort(GuessId::first(p(0), 2)); // inc 1 @ 2
+        let full = Guard::from_iter([g(0, 0, 1), g(0, 1, 2), g(0, 1, 3)]);
+        let mut sender = WireState::new(GuardCodec::Compact);
+        let mut receiver = WireState::new(GuardCodec::Compact);
+        let mut recv_h = History::new();
+
+        // Message 1 carries the row; receiver queues an ack.
+        let tag1 = sender.encode_data(&full, &sender_h, p(1));
+        let (mut w1, mut a1) = (tag1.wire, tag1.acks);
+        receiver.ingest_data(p(0), &mut w1, &mut a1, &mut recv_h);
+
+        // Receiver's reply piggybacks the ack; sender absorbs it.
+        let reply = receiver.encode_data(&Guard::empty(), &recv_h, p(0));
+        assert_eq!(reply.acks.len(), 1);
+        let mut rw = reply.wire;
+        let mut racks = reply.acks;
+        sender.ingest_data(p(1), &mut rw, &mut racks, &mut History::new());
+
+        // Message 2: row suppressed, decode still exact via the ledger.
+        let tag2 = sender.encode_data(&full, &sender_h, p(1));
+        let WireGuard::Compact { ref rows, .. } = tag2.wire else {
+            panic!("expected compact");
+        };
+        assert!(rows.is_empty(), "acked unchanged row must be suppressed");
+        let (mut w2, mut a2) = (tag2.wire, tag2.acks);
+        receiver.ingest_data(p(0), &mut w2, &mut a2, &mut recv_h);
+        assert_eq!(*w2.full(), full);
+        // No duplicate ack queued for an already-acked row.
+        let reply2 = receiver.encode_data(&Guard::empty(), &recv_h, p(0));
+        assert!(reply2.acks.is_empty());
+    }
+
+    #[test]
+    fn changed_start_is_never_suppressed() {
+        let mut sender_h = History::new();
+        sender_h.observe_incarnation(p(0), Incarnation(1), 3); // inc 1 @ 3
+        let full1 = Guard::from_iter([g(0, 0, 1), g(0, 0, 2), g(0, 1, 3), g(0, 1, 4)]);
+        let mut sender = WireState::new(GuardCodec::Compact);
+        let mut receiver = WireState::new(GuardCodec::Compact);
+        let mut recv_h = History::new();
+
+        let tag1 = sender.encode_data(&full1, &sender_h, p(1));
+        assert!(tag1.wire.is_compact());
+        let (mut w1, mut a1) = (tag1.wire, tag1.acks);
+        receiver.ingest_data(p(0), &mut w1, &mut a1, &mut recv_h);
+        let reply = receiver.encode_data(&Guard::empty(), &recv_h, p(0));
+        let (mut rw, mut racks) = (reply.wire, reply.acks);
+        sender.ingest_data(p(1), &mut rw, &mut racks, &mut History::new());
+
+        // Late abort knowledge lowers incarnation 1's start below the acked
+        // value: x_{0,2} is implicitly dead, x_{1,2} takes its index.
+        sender_h.observe_incarnation(p(0), Incarnation(1), 2);
+        let full2 = Guard::from_iter([g(0, 0, 1), g(0, 1, 2), g(0, 1, 3), g(0, 1, 4)]);
+        let tag2 = sender.encode_data(&full2, &sender_h, p(1));
+        let WireGuard::Compact { ref rows, .. } = tag2.wire else {
+            panic!("expected compact, got {:?}", tag2.wire);
+        };
+        assert_eq!(
+            rows.as_slice(),
+            &[TableRow {
+                process: p(0),
+                incarnation: Incarnation(1),
+                start: 2
+            }],
+            "changed row must be re-attached despite the ack"
+        );
+        let (mut w2, mut a2) = (tag2.wire, tag2.acks);
+        receiver.ingest_data(p(0), &mut w2, &mut a2, &mut recv_h);
+        assert_eq!(*w2.full(), full2);
+    }
+
+    #[test]
+    fn missing_table_row_falls_back_to_full() {
+        // A guard mentioning incarnation 2 while the sender only knows
+        // incarnation 1's start cannot be compacted faithfully.
+        let mut h = History::new();
+        h.record_abort(GuessId::first(p(0), 2));
+        let full = Guard::from_iter([g(0, 2, 7)]);
+        let mut sender = WireState::new(GuardCodec::Compact);
+        let tag = sender.encode_data(&full, &h, p(1));
+        assert_eq!(tag.wire, WireGuard::Full(full.clone()));
+        assert_eq!(sender.stats.full_fallbacks, 1);
+    }
+
+    #[test]
+    fn self_check_rejects_lossy_compaction() {
+        // {x1, x3} with no incarnation knowledge: the span floor..latest is
+        // 1..=3 and a receiver-view expansion would fabricate x2, which the
+        // sender cannot prove the receiver knows resolved — must ship full.
+        let full = Guard::from_iter([GuessId::first(p(0), 1), GuessId::first(p(0), 3)]);
+        let mut sender = WireState::new(GuardCodec::Compact);
+        let tag = sender.encode_data(&full, &History::new(), p(1));
+        assert_eq!(tag.wire, WireGuard::Full(full.clone()));
+        assert_eq!(sender.stats.full_fallbacks, 1);
+    }
+
+    #[test]
+    fn committed_prefix_compacts_via_span_floor() {
+        // Mid-stream: x1..x4 committed at the sender, live guard {x5..x7}.
+        // The span floor pins the range, so a receiver with no commit
+        // knowledge decodes exactly {x5..x7} — nothing below the floor is
+        // fabricated, and compaction engages instead of falling back.
+        let mut h = History::new();
+        for i in 1..5 {
+            h.record_commit(GuessId::first(p(0), i));
+        }
+        let full = Guard::from_iter((5..=7).map(|i| GuessId::first(p(0), i)));
+        let mut sender = WireState::new(GuardCodec::Compact);
+        let tag = sender.encode_data(&full, &h, p(1));
+        assert!(tag.wire.is_compact(), "got {:?}", tag.wire);
+        assert_eq!(sender.stats.full_fallbacks, 0);
+
+        let mut receiver = WireState::new(GuardCodec::Compact);
+        let mut recv_h = History::new();
+        let (mut wire, mut acks) = (tag.wire, tag.acks);
+        receiver.ingest_data(p(0), &mut wire, &mut acks, &mut recv_h);
+        assert_eq!(*wire.full(), full);
+    }
+
+    #[test]
+    fn decode_keeps_receiver_known_aborted_members_for_orphan_check() {
+        // Sender (stale) streams {x1..x3}; receiver already knows x2
+        // aborted. Decode must surface x2 so classification orphans it —
+        // not silently reassign index 2 to a newer incarnation.
+        let mut sender = WireState::new(GuardCodec::Compact);
+        let full = streaming_guard(3);
+        let tag = sender.encode_data(&full, &History::new(), p(1));
+        assert!(tag.wire.is_compact());
+
+        let mut receiver = WireState::new(GuardCodec::Compact);
+        let mut recv_h = History::new();
+        recv_h.record_abort(GuessId::first(p(0), 2));
+        let (mut wire, mut acks) = (tag.wire, tag.acks);
+        receiver.ingest_data(p(0), &mut wire, &mut acks, &mut recv_h);
+        let decoded = wire.full();
+        assert!(decoded.contains(GuessId::first(p(0), 2)));
+        assert!(recv_h.is_aborted(GuessId::first(p(0), 2)));
+    }
+
+    #[test]
+    fn decode_drops_receiver_known_committed_members() {
+        let mut sender = WireState::new(GuardCodec::Compact);
+        let full = streaming_guard(3);
+        let tag = sender.encode_data(&full, &History::new(), p(1));
+
+        let mut receiver = WireState::new(GuardCodec::Compact);
+        let mut recv_h = History::new();
+        recv_h.record_commit(GuessId::first(p(0), 1));
+        let (mut wire, mut acks) = (tag.wire, tag.acks);
+        receiver.ingest_data(p(0), &mut wire, &mut acks, &mut recv_h);
+        let decoded = wire.full();
+        assert!(!decoded.contains(GuessId::first(p(0), 1)));
+        assert!(decoded.contains(GuessId::first(p(0), 2)));
+        assert!(decoded.contains(GuessId::first(p(0), 3)));
+    }
+
+    #[test]
+    fn control_encoding_is_self_contained() {
+        let mut sender_h = History::new();
+        sender_h.record_abort(GuessId::first(p(0), 2));
+        let full = Guard::from_iter([g(0, 0, 1), g(0, 1, 2), g(0, 1, 3)]);
+        let mut sender = WireState::new(GuardCodec::Compact);
+        // Even after a peer acked the row, control encodings still carry it
+        // (any process may receive or relay the broadcast).
+        let wire = sender.encode_control(&full, &sender_h);
+        let WireGuard::Compact { ref rows, .. } = wire else {
+            panic!("expected compact control guard");
+        };
+        assert_eq!(rows.len(), 1);
+
+        let mut relay = WireState::new(GuardCodec::Compact);
+        let mut relay_h = History::new();
+        let decoded = relay.decode_control(&wire, &mut relay_h);
+        assert_eq!(decoded, full);
+    }
+
+    #[test]
+    fn wire_guard_display() {
+        let full: WireGuard = Guard::single(GuessId::first(p(0), 1)).into();
+        assert_eq!(full.to_string(), "{x1}");
+        let mut sender = WireState::new(GuardCodec::Compact);
+        let mut h = History::new();
+        h.record_abort(GuessId::first(p(0), 2));
+        let tag = sender.encode_data(
+            &Guard::from_iter([g(0, 0, 1), g(0, 1, 2), g(0, 1, 3)]),
+            &h,
+            p(1),
+        );
+        assert_eq!(tag.wire.to_string(), "{..x[1]3}+1t");
+    }
+}

@@ -67,6 +67,14 @@ pub struct RtStats {
     pub orphans: u64,
     pub data_messages: u64,
     pub control_messages: u64,
+    /// Guard-tag bytes as encoded on the wire (codec-dependent).
+    pub guard_bytes: u64,
+    /// Incarnation-table bytes piggybacked on data messages (rows + acks).
+    pub table_bytes: u64,
+    /// Wire-codec counters aggregated across actors.
+    pub wire: opcsp_core::WireStats,
+    /// Guard-interner counters aggregated across actors.
+    pub interner: opcsp_core::InternerStats,
 }
 
 impl RtStats {
@@ -79,6 +87,10 @@ impl RtStats {
         self.orphans += o.orphans;
         self.data_messages += o.data_messages;
         self.control_messages += o.control_messages;
+        self.guard_bytes += o.guard_bytes;
+        self.table_bytes += o.table_bytes;
+        self.wire.merge(o.wire);
+        self.interner.merge(o.interner);
     }
 }
 
@@ -348,6 +360,8 @@ impl Actor {
             .values()
             .flat_map(|t| t.oblog.iter().cloned())
             .collect();
+        self.stats.wire.merge(self.core.wire_stats());
+        self.stats.interner.merge(self.core.interner_full_stats());
         let _ = self.report.send(Report::Final {
             pid: self.pid,
             stats: self.stats.clone(),
@@ -524,18 +538,26 @@ impl Actor {
         label: String,
         msg_ids: &Arc<AtomicU64>,
     ) {
+        let tag = self.core.encode_for_send(tid, to);
         let env = Envelope {
             id: MsgId(msg_ids.fetch_add(1, Ordering::Relaxed)),
             from: self.pid,
             from_thread: tid,
             to,
-            guard: self.core.guard_for_send(tid).clone(),
+            guard: tag.wire,
+            table_acks: tag.acks,
             kind,
             payload: payload.clone(),
             label: label.into(),
         };
         self.stats.data_messages += 1;
-        self.core.note_send(&env.guard, to);
+        self.stats.guard_bytes += env.guard.wire_size() as u64;
+        if let opcsp_core::WireGuard::Compact { rows, .. } = &env.guard {
+            self.stats.table_bytes += (rows.len() * opcsp_core::TableRow::WIRE_BYTES) as u64;
+        }
+        self.stats.table_bytes +=
+            (env.table_acks.len() * opcsp_core::TableRow::WIRE_BYTES) as u64;
+        self.core.note_send(&tag.full, to);
         let th = self.threads.get_mut(&tid).unwrap();
         th.oblog.push(Observable::Sent {
             to,
@@ -566,9 +588,9 @@ impl Actor {
         let targets: Vec<usize> = if self.cfg.core.targeted_control {
             let mut t = self.core.dependents_of(ctrl.subject());
             if let Control::Precedence(_, guard) = &ctrl {
-                for g in guard.iter() {
-                    if g.process != self.pid {
-                        t.insert(g.process);
+                for p in guard.member_processes() {
+                    if p != self.pid {
+                        t.insert(p);
                     }
                 }
             }
@@ -615,8 +637,8 @@ impl Actor {
 
     // ------------------------------------------------------------------
 
-    fn on_data(&mut self, env: Envelope) {
-        match self.core.classify_arrival(&env) {
+    fn on_data(&mut self, mut env: Envelope) {
+        match self.core.classify_arrival(&mut env) {
             ArrivalVerdict::Orphan(_) => {
                 self.stats.orphans += 1;
                 return;
@@ -645,8 +667,8 @@ impl Actor {
             let Some((tid, idx)) = self.pick_delivery() else {
                 return;
             };
-            let env = self.pool.remove(idx);
-            if let ArrivalVerdict::Orphan(_) = self.core.classify_arrival(&env) {
+            let mut env = self.pool.remove(idx);
+            if let ArrivalVerdict::Orphan(_) = self.core.classify_arrival(&mut env) {
                 self.stats.orphans += 1;
                 continue;
             }
@@ -679,7 +701,7 @@ impl Actor {
                 .enumerate()
                 .filter(|(_, m)| {
                     !m.kind.is_return()
-                        && !m.guard.iter().any(|g| {
+                        && !m.guard().iter().any(|g| {
                             g.process == self.pid
                                 && g.incarnation == self.core.incarnation
                                 && g.index > *tid
@@ -698,7 +720,7 @@ impl Actor {
     }
 
     fn deliver_to(&mut self, tid: u32, env: Envelope) {
-        let introduces = self.core.live_new_guard_count(tid, &env.guard) > 0;
+        let introduces = self.core.live_new_guard_count(tid, env.guard()) > 0;
         if introduces {
             let th = self.threads.get_mut(&tid).unwrap();
             th.checkpoints.push(Checkpoint {
@@ -761,7 +783,8 @@ impl Actor {
                 precedence_guard,
             } => {
                 self.threads.get_mut(&tid).unwrap().status = Status::AwaitingJoin;
-                self.broadcast(Control::Precedence(guess, precedence_guard));
+                let wire = self.core.encode_control_guard(&precedence_guard);
+                self.broadcast(Control::Precedence(guess, wire));
             }
             JoinDecision::AlreadyAborted { .. } => {
                 if let Some(th) = self.threads.get_mut(&tid) {
@@ -801,7 +824,8 @@ impl Actor {
                 self.apply_abort_effects(eff);
             }
             Control::Precedence(g, guard) => {
-                let eff = self.core.on_precedence(g, &guard);
+                let decoded = self.core.decode_control_guard(&guard);
+                let eff = self.core.on_precedence(g, &decoded);
                 self.apply_abort_effects(eff);
             }
         }
@@ -888,8 +912,8 @@ impl Actor {
 
     fn purge_pool(&mut self) {
         let mut kept = Vec::with_capacity(self.pool.len());
-        for env in self.pool.drain(..) {
-            match self.core.classify_arrival(&env) {
+        for mut env in self.pool.drain(..) {
+            match self.core.classify_arrival(&mut env) {
                 ArrivalVerdict::Orphan(_) => self.stats.orphans += 1,
                 ArrivalVerdict::Ok => kept.push(env),
             }

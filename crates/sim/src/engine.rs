@@ -397,7 +397,11 @@ impl World {
         self.finish(truncated)
     }
 
-    fn finish(self, truncated: bool) -> SimResult {
+    fn finish(mut self, truncated: bool) -> SimResult {
+        for p in &self.procs {
+            self.trace.stats.wire.merge(p.core.wire_stats());
+            self.trace.stats.interner.merge(p.core.interner_full_stats());
+        }
         let mut process_done = BTreeMap::new();
         let mut logs = BTreeMap::new();
         let mut unresolved = Vec::new();
@@ -617,13 +621,14 @@ impl World {
         label: String,
     ) {
         let label: Label = label.into();
-        let guard = self.procs[pid.0 as usize].core.guard_for_send(tid).clone();
+        let tag = self.procs[pid.0 as usize].core.encode_for_send(tid, to);
         let env = Envelope {
             id: MsgId(self.next_msg),
             from: pid,
             from_thread: tid,
             to,
-            guard: guard.clone(),
+            guard: tag.wire,
+            table_acks: tag.acks,
             kind,
             payload: payload.clone(),
             label: label.clone(),
@@ -632,13 +637,19 @@ impl World {
         self.trace.stats.data_messages += 1;
         self.trace.stats.data_bytes += env.wire_size() as u64;
         self.trace.stats.guard_bytes += env.guard.wire_size() as u64;
+        if let opcsp_core::WireGuard::Compact { rows, .. } = &env.guard {
+            self.trace.stats.table_bytes +=
+                (rows.len() * opcsp_core::TableRow::WIRE_BYTES) as u64;
+        }
+        self.trace.stats.table_bytes +=
+            (env.table_acks.len() * opcsp_core::TableRow::WIRE_BYTES) as u64;
         let from = self.tid(pid, tid);
         self.trace.push(TraceEvent::Send {
             t: self.now,
             from,
             to,
             label,
-            guard,
+            guard: tag.full.clone(),
         });
         let p = &mut self.procs[pid.0 as usize];
         let th = p.threads.get_mut(&tid).unwrap();
@@ -647,7 +658,7 @@ impl World {
             kind: env.kind.into(),
             payload,
         });
-        self.procs[pid.0 as usize].core.note_send(&env.guard, to);
+        self.procs[pid.0 as usize].core.note_send(&tag.full, to);
         let d = self.latency.sample(pid, to);
         let at = self.now + d;
         self.schedule(at, Event::Deliver(env));
@@ -668,9 +679,9 @@ impl World {
             // PRECEDENCE must also reach the owners of the guard members
             // (they hold the CDG edges that close cycles).
             if let Control::Precedence(_, guard) = &ctrl {
-                for g in guard.iter() {
-                    if g.process != from {
-                        t.insert(g.process);
+                for p in guard.member_processes() {
+                    if p != from {
+                        t.insert(p);
                     }
                 }
             }
@@ -858,7 +869,8 @@ impl World {
                 });
                 let p = &mut self.procs[pid.0 as usize];
                 p.threads.get_mut(&tid).unwrap().status = Status::AwaitingJoin;
-                self.broadcast(pid, Control::Precedence(guess, precedence_guard));
+                let wire = p.core.encode_control_guard(&precedence_guard);
+                self.broadcast(pid, Control::Precedence(guess, wire));
             }
             JoinDecision::AlreadyAborted { .. } => {
                 let p = &mut self.procs[pid.0 as usize];
@@ -898,10 +910,10 @@ impl World {
     // Message arrival & delivery (§4.2.3)
     // ------------------------------------------------------------------
 
-    fn handle_arrival(&mut self, env: Envelope) {
+    fn handle_arrival(&mut self, mut env: Envelope) {
         let pid = env.to;
         let p = &mut self.procs[pid.0 as usize];
-        match p.core.classify_arrival(&env) {
+        match p.core.classify_arrival(&mut env) {
             ArrivalVerdict::Orphan(g) => {
                 self.trace.push(TraceEvent::Orphan {
                     t: self.now,
@@ -944,10 +956,10 @@ impl World {
             let Some((tid, pool_idx)) = choice else {
                 return;
             };
-            let env = self.procs[pid.0 as usize].pool.remove(pool_idx);
+            let mut env = self.procs[pid.0 as usize].pool.remove(pool_idx);
             // Re-check orphan status: aborts may have arrived since pooling.
             let p = &mut self.procs[pid.0 as usize];
-            if let ArrivalVerdict::Orphan(g) = p.core.classify_arrival(&env) {
+            if let ArrivalVerdict::Orphan(g) = p.core.classify_arrival(&mut env) {
                 self.trace.push(TraceEvent::Orphan {
                     t: self.now,
                     at: pid,
@@ -1007,7 +1019,7 @@ impl World {
     /// Delivering it to `tid` would make that future guess depend on
     /// itself (§4.2.3's x4/x5/x6 example).
     fn depends_on_future(&self, p: &SimProcess, tid: u32, env: &Envelope) -> bool {
-        env.guard
+        env.guard()
             .iter()
             .any(|g| g.process == p.id && g.incarnation == p.core.incarnation && g.index > tid)
     }
@@ -1017,7 +1029,7 @@ impl World {
         let p = &mut self.procs[pid.0 as usize];
         // Checkpoint *before* applying a dependency-introducing message
         // (§3.1). Peek whether new guards arrive.
-        let introduces = p.core.live_new_guard_count(tid, &env.guard) > 0;
+        let introduces = p.core.live_new_guard_count(tid, env.guard()) > 0;
         if introduces {
             let every = self.cfg.checkpoint_every.max(1);
             let th = p.threads.get_mut(&tid).unwrap();
@@ -1058,7 +1070,7 @@ impl World {
             to,
             from: env.from,
             label: env.label.clone(),
-            guard: env.guard.clone(),
+            guard: env.guard().clone(),
         });
         self.resume_at(
             pid,
@@ -1116,7 +1128,8 @@ impl World {
             Control::Precedence(g, guard) => {
                 let eff = {
                     let p = &mut self.procs[to.0 as usize];
-                    p.core.on_precedence(g, &guard)
+                    let decoded = p.core.decode_control_guard(&guard);
+                    p.core.on_precedence(g, &decoded)
                 };
                 if !eff.is_empty() {
                     self.trace.push(TraceEvent::TimeFault {
@@ -1279,8 +1292,8 @@ impl World {
         let p = &mut self.procs[pid.0 as usize];
         let mut kept = Vec::with_capacity(p.pool.len());
         let mut orphans = Vec::new();
-        for env in p.pool.drain(..) {
-            match p.core.classify_arrival(&env) {
+        for mut env in p.pool.drain(..) {
+            match p.core.classify_arrival(&mut env) {
                 ArrivalVerdict::Orphan(g) => orphans.push((env.label, g)),
                 ArrivalVerdict::Ok => kept.push(env),
             }

@@ -2,7 +2,7 @@
 //! used to re-render the paper's time-line figures, compute statistics, and
 //! check Theorem 1 (trace equivalence with the pessimistic execution).
 
-use opcsp_core::{Control, Guard, GuessId, Label, ProcessId, ThreadId, Value};
+use opcsp_core::{Control, Guard, GuessId, InternerStats, Label, ProcessId, ThreadId, Value, WireStats};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -137,12 +137,22 @@ pub struct SimStats {
     pub data_messages: u64,
     pub control_messages: u64,
     pub data_bytes: u64,
+    /// Bytes of guard tags as encoded on the wire (codec-dependent: full
+    /// sets or compact + rows — row bytes are included here too).
     pub guard_bytes: u64,
+    /// Bytes of incarnation-table traffic piggybacked on data messages:
+    /// attached rows plus row acks.
+    pub table_bytes: u64,
     /// Full state snapshots taken (checkpointing-cost ablation).
     pub checkpoints_taken: u64,
     /// Behavior steps re-executed during replay-based restores (sparse
     /// checkpointing, §3.1).
     pub replayed_steps: u64,
+    /// Wire-codec counters aggregated over all processes at the end of the
+    /// run (compact sends, full fallbacks, rows/acks shipped).
+    pub wire: WireStats,
+    /// Guard-interner counters aggregated over all processes.
+    pub interner: InternerStats,
 }
 
 /// The full record of a run.

@@ -1,9 +1,10 @@
 //! The §4.2.3 optimizations (min-new-deps delivery, early return check)
 //! are *performance* choices: turning them off must never break
 //! correctness, only cost more aborts/time. Ditto every other ablation
-//! switch, in every combination.
+//! switch — including the §4.1.2 compact wire codec — in every
+//! combination.
 
-use opcsp_core::CoreConfig;
+use opcsp_core::{CoreConfig, GuardCodec};
 use opcsp_sim::{check_conservation, check_equivalence};
 use opcsp_workloads::streaming::{run_streaming, run_tally, StreamingOpts, TallyOpts};
 use opcsp_workloads::update_write::{fig4_latency, run_update_write, UpdateWriteOpts};
@@ -14,12 +15,15 @@ fn all_core_configs() -> Vec<CoreConfig> {
     for deliver in [true, false] {
         for early in [true, false] {
             for targeted in [true, false] {
-                out.push(CoreConfig {
-                    deliver_min_deps: deliver,
-                    early_return_check: early,
-                    targeted_control: targeted,
-                    retry_limit: 3,
-                });
+                for codec in [GuardCodec::Full, GuardCodec::Compact] {
+                    out.push(CoreConfig {
+                        deliver_min_deps: deliver,
+                        early_return_check: early,
+                        targeted_control: targeted,
+                        retry_limit: 3,
+                        codec,
+                    });
+                }
             }
         }
     }
@@ -115,6 +119,7 @@ fn heavy_faults_with_all_optimizations_off() {
         early_return_check: false,
         targeted_control: false,
         retry_limit: 2,
+        codec: GuardCodec::Compact,
     };
     for p in [300u32, 700] {
         let o = TallyOpts {

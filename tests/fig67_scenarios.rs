@@ -36,7 +36,7 @@ fn fig6_precedence_chain_commits() {
     assert_eq!(from, Z);
     assert_eq!(g.process, Z);
     assert!(
-        guard.iter().any(|h| h.process == X),
+        guard.member_processes().contains(&X),
         "z1 awaits x1: {guard}"
     );
 
