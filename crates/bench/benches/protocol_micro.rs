@@ -20,6 +20,7 @@ fn env_with(to: ProcessId, guard: Guard) -> Envelope {
         kind: DataKind::Send,
         payload: Value::Int(1),
         label: "M".into(),
+        link_seq: 0,
     }
 }
 

@@ -68,6 +68,12 @@ pub struct Envelope {
     pub payload: Value,
     /// Human-readable label for trace rendering ("C1", "R2", ...).
     pub label: Label,
+    /// Link sequence number: this is the `link_seq`-th transmission on the
+    /// directed link `from → to` (0-based, data and control combined). FIFO
+    /// transports deliver a link's messages in this order; forensics uses
+    /// it as the stable address of the message's latency draw (see
+    /// `opcsp_sim::latency::DrawKey`).
+    pub link_seq: u32,
 }
 
 impl Envelope {
@@ -79,8 +85,10 @@ impl Envelope {
 
     /// Total approximate wire size including the guard tag and any
     /// piggybacked table rows/acks — used for the E8 overhead ablation.
+    /// The 20 fixed bytes cover ids, route, kind, and the link sequence
+    /// number.
     pub fn wire_size(&self) -> usize {
-        16 + self.guard.wire_size()
+        20 + self.guard.wire_size()
             + self.payload.wire_size()
             + self.table_acks.len() * TableRow::WIRE_BYTES
     }
@@ -156,6 +164,7 @@ mod tests {
             kind: DataKind::Call(CallId(7)),
             payload: Value::Int(5),
             label: label.into(),
+            link_seq: 0,
         }
     }
 
@@ -183,7 +192,7 @@ mod tests {
     #[test]
     fn wire_size_includes_guard() {
         let e = env("C1");
-        assert_eq!(e.wire_size(), 16 + (2 + 12) + 8);
+        assert_eq!(e.wire_size(), 20 + (2 + 12) + 8);
         assert!(
             Control::Precedence(
                 GuessId::first(ProcessId(0), 1),

@@ -210,6 +210,40 @@ pub struct ProcessCore {
     interner: GuardInterner,
     /// Wire-codec state: per-peer row acks and pending ack piggybacks.
     wire: WireState,
+    /// Resolution provenance for this process's own guesses, in resolution
+    /// order: why each guess committed or aborted (§4.2.4–4.2.8 paths).
+    /// Forensics reads this to name the guess (and fault class) behind a
+    /// divergence.
+    pub resolutions: Vec<GuessResolution>,
+}
+
+/// Why one of this process's own guesses resolved the way it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolutionCause {
+    /// Guessed values disagreed with S1's actuals (§2, Figure 5).
+    ValueFault,
+    /// The guess appeared in its own left thread's final guard — a local
+    /// time fault (Figure 4).
+    SelfCycle,
+    /// Left thread finished S1 with an empty guard (§3.2): commit.
+    EmptyGuard,
+    /// The guard emptied later, when remote COMMITs drained it: commit.
+    CascadeCommit,
+    /// A CDG cycle doomed the guess — a distributed time fault (§4.2.5).
+    PrecedenceCycle,
+    /// Aborted as a cascade dependent of `root`'s abort (§4.2.7).
+    DependencyAbort { root: GuessId },
+    /// Direct abort: a remote `ABORT` control message, or the engine's
+    /// fork timeout (§3.2).
+    Explicit,
+}
+
+/// One entry of [`ProcessCore::resolutions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuessResolution {
+    pub guess: GuessId,
+    pub committed: bool,
+    pub cause: ResolutionCause,
 }
 
 impl ProcessCore {
@@ -230,6 +264,7 @@ impl ProcessCore {
             dependents: BTreeMap::new(),
             interner: GuardInterner::new(),
             wire: WireState::new(config_codec),
+            resolutions: Vec::new(),
         }
     }
 
@@ -555,6 +590,7 @@ mod tests {
             kind,
             payload: Value::Unit,
             label: "M".into(),
+            link_seq: 0,
         }
     }
 

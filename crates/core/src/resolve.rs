@@ -5,7 +5,9 @@
 use crate::cdg::EdgeOutcome;
 use crate::guard::Guard;
 use crate::ids::{ForkIndex, GuessId, Incarnation, StateIndex};
-use crate::process::{OwnGuessState, ProcessCore, ThreadPhase};
+use crate::process::{
+    GuessResolution, OwnGuessState, ProcessCore, ResolutionCause, ThreadPhase,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Decision produced when a left thread finishes S1 (§4.2.4).
@@ -84,20 +86,20 @@ impl ProcessCore {
 
         if !value_ok {
             // Value fault (Figure 5).
-            let effects = self.apply_abort(guess);
+            let effects = self.apply_abort(guess, ResolutionCause::ValueFault);
             return JoinDecision::Abort { effects };
         }
         if left_guard.contains(guess) {
             // Local time fault (Figure 4): the guess is in its own left
             // thread's causal past — {x1} → {x1}.
-            let effects = self.apply_abort(guess);
+            let effects = self.apply_abort(guess, ResolutionCause::SelfCycle);
             return JoinDecision::Abort { effects };
         }
         if left_guard.is_empty() {
             // §3.2: terminated with an empty guard set — no uncommitted
             // forks in the causal past; commit.
             let mut committed = vec![guess];
-            self.commit_own(guess);
+            self.commit_own(guess, ResolutionCause::EmptyGuard);
             committed.extend(self.cascade_commits());
             return JoinDecision::Commit { committed };
         }
@@ -151,7 +153,7 @@ impl ProcessCore {
     /// §4.2.7: an ABORT(g) control message arrived (or `g` aborted via a
     /// locally detected fault/cycle).
     pub fn on_abort(&mut self, g: GuessId) -> AbortEffects {
-        self.apply_abort(g)
+        self.apply_abort(g, ResolutionCause::Explicit)
     }
 
     /// §4.2.8: a PRECEDENCE(g, guard) control message arrived: every member
@@ -183,7 +185,7 @@ impl ProcessCore {
     fn abort_cycle(&mut self, members: BTreeSet<GuessId>) -> AbortEffects {
         let mut total = AbortEffects::default();
         for m in members {
-            let e = self.apply_abort(m);
+            let e = self.apply_abort(m, ResolutionCause::PrecedenceCycle);
             merge_effects(&mut total, e);
         }
         total
@@ -197,7 +199,7 @@ impl ProcessCore {
     /// from all guards, mark the left thread done. A commit at a fork site
     /// starts a fresh computation there, so its retry budget resets (§3.3's
     /// L bounds re-executions of *the same* computation).
-    fn commit_own(&mut self, g: GuessId) {
+    fn commit_own(&mut self, g: GuessId, cause: ResolutionCause) {
         if let Some(o) = self.own.get_mut(&g) {
             o.state = OwnGuessState::Committed;
             let left = o.left_thread;
@@ -206,6 +208,11 @@ impl ProcessCore {
                 t.phase = ThreadPhase::Done;
             }
             self.reset_retries(site);
+            self.resolutions.push(GuessResolution {
+                guess: g,
+                committed: true,
+                cause,
+            });
         }
         self.remove_committed_guess(g);
     }
@@ -237,7 +244,7 @@ impl ProcessCore {
             });
             match next {
                 Some(g) => {
-                    self.commit_own(g);
+                    self.commit_own(g, ResolutionCause::CascadeCommit);
                     committed.push(g);
                 }
                 None => return committed,
@@ -256,7 +263,7 @@ impl ProcessCore {
     /// Retry accounting (§3.3's limit L): only the *root* guess counts as a
     /// failed optimistic execution of its fork site — cascade victims were
     /// not wrong, merely dependent.
-    fn apply_abort(&mut self, root: GuessId) -> AbortEffects {
+    fn apply_abort(&mut self, root: GuessId, cause: ResolutionCause) -> AbortEffects {
         let mut effects = AbortEffects::default();
 
         // Idempotence: if we already know it aborted and nothing local
@@ -372,6 +379,15 @@ impl ProcessCore {
                     continue;
                 }
                 effects.own_aborted.push(o.id);
+                self.resolutions.push(GuessResolution {
+                    guess: o.id,
+                    committed: false,
+                    cause: if o.id == root {
+                        cause.clone()
+                    } else {
+                        ResolutionCause::DependencyAbort { root }
+                    },
+                });
                 if o.id == root {
                     self.note_retry(o.site);
                 }
@@ -543,6 +559,7 @@ mod tests {
             kind: DataKind::Send,
             payload: Value::Unit,
             label: "M".into(),
+            link_seq: 0,
         }
     }
 

@@ -19,6 +19,7 @@ fn env(to: u32, guard: Guard) -> Envelope {
         kind: DataKind::Send,
         payload: Value::Unit,
         label: "M".into(),
+        link_seq: 0,
     }
 }
 

@@ -13,15 +13,36 @@
 //!   --show-transform     print the transformed program and fork sites
 //!   --timeout <t>        fork timeout in ticks              [default 100000]
 //!   --retry-limit <L>    §3.3 liveness limit                [default 3]
+//!   --forensics          on divergence, print a first-divergence report
+//!                        with a happens-before chain and a ddmin-shrunk
+//!                        minimal latency schedule
+//!   --inject-lifo        deliberately scramble optimistic delivery (LIFO
+//!                        pooled pick + non-FIFO links); the protocol's
+//!                        precedence machinery should absorb this
+//!   --inject-phantom     deliberately skip observable-log truncation on
+//!                        rollback — a genuine Theorem-1 violation that
+//!                        demos the forensics path
 //! ```
+//!
+//! `--compare` checks Theorem 1 with the replay oracle: the strict
+//! same-seed comparison first, and on a positional difference it replays
+//! the optimistic run's committed delivery schedule through the
+//! sequential engine. Only a replay mismatch — behavior NO sequential
+//! execution can produce — is a divergence; cross-sender merge order at a
+//! fan-in is legal CSP nondeterminism.
 //!
 //! Exit code 1 on parse/transform errors, 2 if `--compare` finds a
 //! Theorem-1 divergence (which would be an engine bug worth reporting).
 
 use opcsp_core::{CoreConfig, ProcessId};
 use opcsp_lang::{parse_program, program_to_string, System};
-use opcsp_sim::{check_equivalence, LatencyModel, SimConfig, SimResult};
+use opcsp_sim::{
+    check_theorem1, first_divergence, happens_before_chain, render_report, shrink_schedule,
+    DivergenceReport, FaultInjection, LatencyModel, SimConfig, SimResult, Theorem1Verdict,
+};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Options {
     file: String,
@@ -34,6 +55,9 @@ struct Options {
     show_transform: bool,
     timeout: u64,
     retry_limit: u32,
+    forensics: bool,
+    inject_lifo: bool,
+    inject_phantom: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -48,6 +72,9 @@ fn parse_args() -> Result<Options, String> {
         show_transform: false,
         timeout: 100_000,
         retry_limit: 3,
+        forensics: false,
+        inject_lifo: false,
+        inject_phantom: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,6 +89,9 @@ fn parse_args() -> Result<Options, String> {
             "--compare" => opts.compare = true,
             "--timeline" => opts.timeline = true,
             "--show-transform" => opts.show_transform = true,
+            "--forensics" => opts.forensics = true,
+            "--inject-lifo" => opts.inject_lifo = true,
+            "--inject-phantom" => opts.inject_phantom = true,
             "--latency" => opts.latency = num("--latency")?,
             "--jitter" => opts.jitter = num("--jitter")?,
             "--seed" => opts.seed = num("--seed")?,
@@ -82,7 +112,7 @@ fn usage() {
     eprintln!(
         "usage: opcsp-run <file.csp> [--pessimistic] [--compare] [--latency d] \
          [--jitter s] [--seed n] [--timeline] [--show-transform] [--timeout t] \
-         [--retry-limit L]"
+         [--retry-limit L] [--forensics] [--inject-lifo] [--inject-phantom]"
     );
 }
 
@@ -165,16 +195,22 @@ fn main() -> ExitCode {
     } else {
         LatencyModel::fixed(opts.latency)
     };
-    let cfg = |optimism: bool| SimConfig {
+    let make_cfg = |model: &LatencyModel, optimism: bool| SimConfig {
         core: CoreConfig {
             retry_limit: opts.retry_limit,
             ..CoreConfig::default()
         },
         optimism,
-        latency: latency.clone(),
+        latency: model.clone(),
         fork_timeout: opts.timeout,
+        fault: match (optimism, opts.inject_phantom, opts.inject_lifo) {
+            (true, true, _) => FaultInjection::PhantomLog,
+            (true, false, true) => FaultInjection::LifoDelivery,
+            _ => FaultInjection::None,
+        },
         ..SimConfig::default()
     };
+    let cfg = |optimism: bool| make_cfg(&latency, optimism);
 
     let procs: Vec<ProcessId> = (0..sys.transformed.program.procs.len() as u32)
         .map(ProcessId)
@@ -192,13 +228,75 @@ fn main() -> ExitCode {
             "speedup: {:.2}x",
             pess.completion as f64 / opt.completion.max(1) as f64
         );
-        let rep = check_equivalence(&pess, &opt);
-        if rep.equivalent {
-            println!("Theorem 1: committed traces identical ✓");
-            ExitCode::SUCCESS
-        } else {
-            eprintln!("Theorem 1 DIVERGENCE (engine bug!): {:#?}", rep.mismatches);
-            ExitCode::from(2)
+        let verdict = check_theorem1(&pess, &opt, |sched| {
+            let mut c = cfg(false);
+            c.delivery_schedule = Some(sched);
+            sys.run(c)
+        });
+        match verdict {
+            Theorem1Verdict::Identical => {
+                println!("Theorem 1: committed traces identical ✓");
+                ExitCode::SUCCESS
+            }
+            Theorem1Verdict::EquivalentModuloMergeOrder { strict } => {
+                println!(
+                    "Theorem 1: holds modulo legal fan-in merge order ✓ \
+                     ({} positional difference(s) vs the same-seed reference; \
+                     the committed delivery schedule replays to identical logs)",
+                    strict.mismatches.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Theorem1Verdict::Violation {
+                replay,
+                replay_result,
+                ..
+            } => {
+                let names: BTreeMap<ProcessId, String> = sys
+                    .bindings
+                    .iter()
+                    .map(|(n, p)| (*p, n.clone()))
+                    .collect();
+                eprintln!(
+                    "Theorem 1 DIVERGENCE (engine bug!): no sequential execution \
+                     reproduces the optimistic committed logs"
+                );
+                if opts.forensics {
+                    let first = first_divergence(&replay, &replay_result, &opt)
+                        .expect("non-equivalent report has a first mismatch");
+                    let chain = happens_before_chain(&opt, &first);
+                    let shrunk = if opts.jitter > 0 {
+                        shrink_schedule(&opt.latency_draws, opts.latency, |ov| {
+                            let scripted = LatencyModel::scripted(
+                                opts.latency,
+                                opts.jitter,
+                                opts.seed,
+                                Arc::new(ov.clone()),
+                            );
+                            let p2 = sys.run(make_cfg(&scripted, false));
+                            let o2 = sys.run(make_cfg(&scripted, true));
+                            !check_theorem1(&p2, &o2, |sched| {
+                                let mut c = make_cfg(&scripted, false);
+                                c.delivery_schedule = Some(sched);
+                                sys.run(c)
+                            })
+                            .holds()
+                        })
+                    } else {
+                        None
+                    };
+                    let report = DivergenceReport {
+                        first,
+                        chain,
+                        shrunk,
+                    };
+                    eprint!("{}", render_report(&report, &names));
+                } else {
+                    eprint!("{}", replay.render(&names));
+                    eprintln!("(re-run with --forensics for a full report)");
+                }
+                ExitCode::from(2)
+            }
         }
     } else {
         let r = sys.run(cfg(!opts.pessimistic));

@@ -549,6 +549,10 @@ impl Actor {
             kind,
             payload: payload.clone(),
             label: label.into(),
+            // The threaded runtime's channels are FIFO by construction;
+            // link sequence numbers only matter to the simulator's
+            // forensics, which replays draws by (link, seq) address.
+            link_seq: 0,
         };
         self.stats.data_messages += 1;
         self.stats.guard_bytes += env.guard.wire_size() as u64;

@@ -177,7 +177,7 @@ fn check_buffered_release_after_commit(trace: &Trace, out: &mut Vec<Violation>) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use opcsp_core::{Guard, ThreadId, Value};
+    use opcsp_core::{Guard, MsgId, ThreadId, Value};
 
     fn tid(p: u32) -> ThreadId {
         ThreadId {
@@ -191,6 +191,7 @@ mod tests {
         let mut tr = Trace::default();
         tr.push(TraceEvent::Send {
             t: 0,
+            msg: MsgId(0),
             from: tid(0),
             to: ProcessId(1),
             label: "C1".into(),
@@ -198,6 +199,7 @@ mod tests {
         });
         tr.push(TraceEvent::Deliver {
             t: 10,
+            msg: MsgId(0),
             to: tid(1),
             from: ProcessId(0),
             label: "C1".into(),
@@ -211,6 +213,7 @@ mod tests {
         let mut tr = Trace::default();
         tr.push(TraceEvent::Deliver {
             t: 10,
+            msg: MsgId(0),
             to: tid(1),
             from: ProcessId(0),
             label: "GHOST".into(),

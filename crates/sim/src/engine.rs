@@ -12,15 +12,43 @@
 //! order — that execution's trace is the reference for Theorem 1.
 
 use crate::behavior::{Behavior, BehaviorState, Effect, Resume};
-use crate::latency::{LatencyModel, LatencySampler};
+use crate::latency::{DrawKey, LatencyModel, LatencySampler};
 use crate::trace::{SimStats, Trace, TraceEvent, VTime};
 use opcsp_core::{
-    ArrivalVerdict, CallId, Control, CoreConfig, DataKind, Envelope, GuessId, JoinDecision, Label,
-    MsgId, ProcessCore, ProcessId, ThreadId, Value,
+    ArrivalVerdict, CallId, Control, CoreConfig, DataKind, Envelope, Guard, GuessId,
+    GuessResolution, Incarnation, JoinDecision, Label, MsgId, ProcessCore, ProcessId, ThreadId,
+    Value,
 };
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
+
+/// Per-process committed receive order: for each process, the peers whose
+/// data messages (calls and sends, not returns) it consumed, in consumption
+/// order. Extracted from a committed run by `equiv::committed_schedule` and
+/// replayed through a pessimistic run via
+/// [`SimConfig::delivery_schedule`].
+pub type DeliverySchedule = BTreeMap<ProcessId, Vec<ProcessId>>;
+
+/// Deliberate engine misbehavior, used to prove the Theorem-1 oracle (and
+/// the forensics pipeline behind it) has teeth. `None` in production.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultInjection {
+    #[default]
+    None,
+    /// At a receive point, deliver the *newest* pooled candidate instead of
+    /// the dependency-minimizing choice, and drop the per-link FIFO arrival
+    /// clamp so jitter can invert same-link message order — commits
+    /// receive orders no sequential execution can produce. The protocol's
+    /// precedence machinery is expected to *survive* this (time faults
+    /// serialize the reordered speculation), at the cost of rollback churn.
+    LifoDelivery,
+    /// Skip the observable-log truncation on rollback, so observables from
+    /// rolled-back speculation leak into the committed log — a genuine
+    /// Theorem-1 violation no sequential replay can reproduce. Exists to
+    /// prove the replay oracle and the forensics reporter have teeth.
+    PhantomLog,
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +75,16 @@ pub struct SimConfig {
     pub checkpoint_every: u32,
     /// Safety valve against runaway simulations.
     pub max_events: u64,
+    /// Replay a committed receive order: at each receive point, hold
+    /// delivery until the scheduled peer's oldest message is available.
+    /// Only meaningful with `optimism: false` (no rollbacks re-consume
+    /// messages, so the per-process positions advance monotonically). This
+    /// is the Theorem-1 oracle's vehicle: a divergent-looking optimistic
+    /// run is legal iff its committed schedule replays to the same logs on
+    /// the sequential engine.
+    pub delivery_schedule: Option<Arc<DeliverySchedule>>,
+    /// Deliberate misbehavior for oracle-teeth tests.
+    pub fault: FaultInjection,
 }
 
 impl Default for SimConfig {
@@ -60,6 +98,8 @@ impl Default for SimConfig {
             latency: LatencyModel::fixed(10),
             checkpoint_every: 1,
             max_events: 5_000_000,
+            delivery_schedule: None,
+            fault: FaultInjection::None,
         }
     }
 }
@@ -91,12 +131,56 @@ pub enum ObsKind {
     Return,
 }
 
+/// Commit provenance for one entry of an observable log: recorded in
+/// lockstep with `SimResult::logs` (same process, same index) and rolled
+/// back with it, so whatever survives describes only committed events.
+/// This is the raw material of the forensics first-divergence report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsMeta {
+    /// Virtual time the event was (last) performed.
+    pub t: VTime,
+    /// Fork index of the thread that performed it.
+    pub thread: u32,
+    /// Message id for sends/receives; `None` for external outputs.
+    pub msg: Option<MsgId>,
+    /// The message's link sequence number (its latency `DrawKey` index).
+    pub link_seq: Option<u32>,
+    /// The thread's commit guard set right after the event.
+    pub guard: Guard,
+    /// The process's incarnation when the event was performed.
+    pub incarnation: Incarnation,
+}
+
 impl From<DataKind> for ObsKind {
     fn from(k: DataKind) -> Self {
         match k {
             DataKind::Send => ObsKind::Send,
             DataKind::Call(_) => ObsKind::Call,
             DataKind::Return(_) => ObsKind::Return,
+        }
+    }
+}
+
+impl std::fmt::Display for ObsKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ObsKind::Send => "send",
+            ObsKind::Call => "call",
+            ObsKind::Return => "return",
+        })
+    }
+}
+
+impl std::fmt::Display for Observable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Observable::Sent { to, kind, payload } => write!(f, "sent {kind} {payload} → {to}"),
+            Observable::Received {
+                from,
+                kind,
+                payload,
+            } => write!(f, "recv {kind} {payload} ← {from}"),
+            Observable::Output { payload } => write!(f, "out {payload}"),
         }
     }
 }
@@ -142,6 +226,9 @@ struct SimThread {
     consumed: Vec<(u32, Envelope)>,
     /// Observable log (sends, receives, external outputs) in local order.
     oblog: Vec<Observable>,
+    /// Provenance record per `oblog` entry (same length, truncated
+    /// together on rollback).
+    obmeta: Vec<ObsMeta>,
     /// External outputs awaiting commit (interval tag, payload).
     out_buf: Vec<(u32, Value)>,
     /// Calls currently being serviced (innermost last).
@@ -172,6 +259,7 @@ impl SimThread {
             resume_log: Vec::new(),
             consumed: Vec::new(),
             oblog: Vec::new(),
+            obmeta: Vec::new(),
             out_buf: Vec::new(),
             call_stack: Vec::new(),
             fork_guess: None,
@@ -275,6 +363,13 @@ pub struct SimResult {
     pub unresolved: Vec<GuessId>,
     /// True if the run stopped because `max_events` was hit.
     pub truncated: bool,
+    /// Commit provenance per `logs` entry (same keys, same indices).
+    pub provenance: BTreeMap<ProcessId, Vec<ObsMeta>>,
+    /// Every latency draw made, in sample order, keyed by (from, to, k) —
+    /// the schedule shrinker's search space. Empty for non-jitter models.
+    pub latency_draws: Vec<(DrawKey, u64)>,
+    /// Per-process guess-resolution provenance (owners only).
+    pub resolutions: BTreeMap<ProcessId, Vec<GuessResolution>>,
 }
 
 impl SimResult {
@@ -302,6 +397,18 @@ pub struct World {
     /// Time of the last event that did real work (excludes no-op timer
     /// fires and stale step events), reported as the completion time.
     last_activity: VTime,
+    /// Per-directed-link transmission counters (data and control), kept in
+    /// lockstep with the jitter sampler's draw counters so a data
+    /// message's `link_seq` is exactly its latency `DrawKey` index.
+    link_seq: BTreeMap<(ProcessId, ProcessId), u32>,
+    /// Latest scheduled *data* arrival per directed link: FIFO links never
+    /// let a later transmission overtake an earlier one (real transports
+    /// are order-preserving; only `LatencyModel::JitterUnordered` opts
+    /// out, preserving the legacy free-reordering network).
+    link_heads: BTreeMap<(ProcessId, ProcessId), VTime>,
+    /// Position in `cfg.delivery_schedule` per process (non-return
+    /// receives consumed so far).
+    sched_pos: BTreeMap<ProcessId, usize>,
 }
 
 impl World {
@@ -322,6 +429,9 @@ impl World {
             external: Vec::new(),
             events_processed: 0,
             last_activity: 0,
+            link_seq: BTreeMap::new(),
+            link_heads: BTreeMap::new(),
+            sched_pos: BTreeMap::new(),
         };
         for (i, b) in behaviors.into_iter().enumerate() {
             let id = ProcessId(i as u32);
@@ -365,6 +475,17 @@ impl World {
         }
     }
 
+    /// Sample the next transmission's latency on `from → to` and return it
+    /// with the transmission's link sequence number. Data and control share
+    /// the counter, keeping it in lockstep with the jitter sampler's draw
+    /// counters — a data message's `link_seq` IS its `DrawKey` index.
+    fn link_delay(&mut self, from: ProcessId, to: ProcessId) -> (u64, u32) {
+        let c = self.link_seq.entry((from, to)).or_insert(0);
+        let k = *c;
+        *c += 1;
+        (self.latency.sample(from, to), k)
+    }
+
     /// Run to quiescence; returns the result record.
     pub fn run(mut self) -> SimResult {
         let mut truncated = false;
@@ -404,13 +525,21 @@ impl World {
         }
         let mut process_done = BTreeMap::new();
         let mut logs = BTreeMap::new();
+        let mut provenance = BTreeMap::new();
+        let mut resolutions = BTreeMap::new();
         let mut unresolved = Vec::new();
         for p in &self.procs {
             let mut log = Vec::new();
+            let mut meta = Vec::new();
             for th in p.threads.values() {
                 log.extend(th.oblog.iter().cloned());
+                meta.extend(th.obmeta.iter().cloned());
             }
             logs.insert(p.id, log);
+            provenance.insert(p.id, meta);
+            if !p.core.resolutions.is_empty() {
+                resolutions.insert(p.id, p.core.resolutions.clone());
+            }
             let done = p.threads.values().map(|t| t.clock).max().unwrap_or(0);
             process_done.insert(p.id, done);
             for o in p.core.own.values() {
@@ -431,6 +560,9 @@ impl World {
             logs,
             unresolved,
             truncated,
+            provenance,
+            latency_draws: self.latency.draws().to_vec(),
+            resolutions,
         }
     }
 
@@ -518,9 +650,24 @@ impl World {
                     .map(|m| m.guard.is_empty())
                     .unwrap_or(true);
                 let p = &mut self.procs[pid.0 as usize];
+                let incarnation = p.core.incarnation;
+                let guard = p
+                    .core
+                    .threads
+                    .get(&tid)
+                    .map(|m| m.guard.clone())
+                    .unwrap_or_else(Guard::empty);
                 let th = p.threads.get_mut(&tid).unwrap();
                 th.oblog.push(Observable::Output {
                     payload: payload.clone(),
+                });
+                th.obmeta.push(ObsMeta {
+                    t: now,
+                    thread: tid,
+                    msg: None,
+                    link_seq: None,
+                    guard,
+                    incarnation,
                 });
                 if guard_empty {
                     self.external.push((now, pid, payload.clone()));
@@ -622,6 +769,7 @@ impl World {
     ) {
         let label: Label = label.into();
         let tag = self.procs[pid.0 as usize].core.encode_for_send(tid, to);
+        let (d, link_seq) = self.link_delay(pid, to);
         let env = Envelope {
             id: MsgId(self.next_msg),
             from: pid,
@@ -632,6 +780,7 @@ impl World {
             kind,
             payload: payload.clone(),
             label: label.clone(),
+            link_seq,
         };
         self.next_msg += 1;
         self.trace.stats.data_messages += 1;
@@ -646,21 +795,37 @@ impl World {
         let from = self.tid(pid, tid);
         self.trace.push(TraceEvent::Send {
             t: self.now,
+            msg: env.id,
             from,
             to,
             label,
             guard: tag.full.clone(),
         });
         let p = &mut self.procs[pid.0 as usize];
+        let incarnation = p.core.incarnation;
         let th = p.threads.get_mut(&tid).unwrap();
         th.oblog.push(Observable::Sent {
             to,
             kind: env.kind.into(),
             payload,
         });
+        th.obmeta.push(ObsMeta {
+            t: self.now,
+            thread: tid,
+            msg: Some(env.id),
+            link_seq: Some(link_seq),
+            guard: tag.full.clone(),
+            incarnation,
+        });
         self.procs[pid.0 as usize].core.note_send(&tag.full, to);
-        let d = self.latency.sample(pid, to);
-        let at = self.now + d;
+        let mut at = self.now + d;
+        if self.cfg.latency.fifo_links() && self.cfg.fault != FaultInjection::LifoDelivery {
+            // FIFO clamp: a data message never overtakes the previous one
+            // on the same directed link.
+            let head = self.link_heads.entry((pid, to)).or_insert(0);
+            at = at.max(*head);
+            *head = at;
+        }
         self.schedule(at, Event::Deliver(env));
     }
 
@@ -695,7 +860,7 @@ impl World {
         self.mark_relayed(from, &ctrl);
         for to in targets {
             self.trace.stats.control_messages += 1;
-            let d = self.latency.sample(from, to);
+            let (d, _) = self.link_delay(from, to);
             let at = self.now + d;
             self.schedule(
                 at,
@@ -743,7 +908,7 @@ impl World {
             .collect();
         for to in targets {
             self.trace.stats.control_messages += 1;
-            let d = self.latency.sample(pid, to);
+            let (d, _) = self.link_delay(pid, to);
             let at = self.now + d;
             self.schedule(
                 at,
@@ -917,6 +1082,7 @@ impl World {
             ArrivalVerdict::Orphan(g) => {
                 self.trace.push(TraceEvent::Orphan {
                     t: self.now,
+                    msg: env.id,
                     at: pid,
                     label: env.label,
                     guess: g,
@@ -962,6 +1128,7 @@ impl World {
             if let ArrivalVerdict::Orphan(g) = p.core.classify_arrival(&mut env) {
                 self.trace.push(TraceEvent::Orphan {
                     t: self.now,
+                    msg: env.id,
                     at: pid,
                     label: env.label,
                     guess: g,
@@ -1006,6 +1173,29 @@ impl World {
                 .collect();
             if candidates.is_empty() {
                 continue;
+            }
+            // Schedule replay: serve the scheduled peer's oldest message,
+            // or hold this thread until it arrives.
+            if let Some(sched) = &self.cfg.delivery_schedule {
+                if let Some(order) = sched.get(&pid) {
+                    let pos = self.sched_pos.get(&pid).copied().unwrap_or(0);
+                    if let Some(&want) = order.get(pos) {
+                        match candidates
+                            .iter()
+                            .filter(|(_, m)| m.from == want)
+                            .min_by_key(|(_, m)| m.id)
+                        {
+                            Some((i, _)) => return Some((th.index, *i)),
+                            None => continue,
+                        }
+                    }
+                    // Past the schedule's end: fall through to the normal
+                    // policy.
+                }
+            }
+            if self.cfg.fault == FaultInjection::LifoDelivery {
+                let (i, _) = candidates.iter().max_by_key(|(_, m)| m.id).unwrap();
+                return Some((th.index, *i));
             }
             let envs: Vec<&Envelope> = candidates.iter().map(|(_, e)| *e).collect();
             if let Some(k) = p.core.choose_delivery(th.index, &envs) {
@@ -1053,6 +1243,8 @@ impl World {
         let eff = p.core.deliver(tid, &env);
         debug_assert_eq!(eff.new_interval.is_some(), introduces);
         let interval = p.core.threads[&tid].interval;
+        let incarnation = p.core.incarnation;
+        let guard_after = p.core.threads[&tid].guard.clone();
         let th = p.threads.get_mut(&tid).unwrap();
         debug_assert_eq!(th.checkpoints.len() as u32, interval + 1);
         th.consumed.push((interval, env.clone()));
@@ -1061,12 +1253,24 @@ impl World {
             kind: env.kind.into(),
             payload: env.payload.clone(),
         });
+        th.obmeta.push(ObsMeta {
+            t: now,
+            thread: tid,
+            msg: Some(env.id),
+            link_seq: Some(env.link_seq),
+            guard: guard_after,
+            incarnation,
+        });
         if let DataKind::Call(cid) = env.kind {
             th.call_stack.push((env.from, cid, env.label.clone()));
+        }
+        if !env.kind.is_return() {
+            *self.sched_pos.entry(pid).or_insert(0) += 1;
         }
         let to = self.tid(pid, tid);
         self.trace.push(TraceEvent::Deliver {
             t: now,
+            msg: env.id,
             to,
             from: env.from,
             label: env.label.clone(),
@@ -1272,7 +1476,10 @@ impl World {
         th.call_stack = meta.call_stack;
         th.fork_guess = meta.fork_guess;
         th.resume_log.truncate(meta.resume_len);
-        th.oblog.truncate(meta.oblog_len);
+        if self.cfg.fault != FaultInjection::PhantomLog {
+            th.oblog.truncate(meta.oblog_len);
+            th.obmeta.truncate(meta.oblog_len);
+        }
         th.out_buf.truncate(meta.out_buf_len);
         th.epoch += 1;
         th.clock = th.clock.max(now);
@@ -1294,14 +1501,15 @@ impl World {
         let mut orphans = Vec::new();
         for mut env in p.pool.drain(..) {
             match p.core.classify_arrival(&mut env) {
-                ArrivalVerdict::Orphan(g) => orphans.push((env.label, g)),
+                ArrivalVerdict::Orphan(g) => orphans.push((env.id, env.label, g)),
                 ArrivalVerdict::Ok => kept.push(env),
             }
         }
         p.pool = kept;
-        for (label, g) in orphans {
+        for (msg, label, g) in orphans {
             self.trace.push(TraceEvent::Orphan {
                 t: self.now,
+                msg,
                 at: pid,
                 label,
                 guess: g,

@@ -10,10 +10,11 @@
 //! pessimistic run executes everything on thread 0, giving the reference
 //! sequence.
 
-use crate::engine::{ObsKind, Observable, SimResult};
+use crate::engine::{DeliverySchedule, ObsKind, Observable, SimResult};
 use opcsp_core::{ProcessId, Value};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Outcome of comparing an optimistic run against the pessimistic
 /// reference.
@@ -23,21 +24,69 @@ pub struct EquivReport {
     pub mismatches: Vec<Mismatch>,
 }
 
+impl EquivReport {
+    /// The earliest mismatch (lowest event index; ties by process id) —
+    /// the forensics anchor.
+    pub fn first(&self) -> Option<&Mismatch> {
+        self.mismatches
+            .iter()
+            .min_by_key(|m| (m.position, m.process))
+    }
+
+    /// Render all mismatches with process names substituted (fall back to
+    /// the letter name when a process is not in the map).
+    pub fn render(&self, names: &BTreeMap<ProcessId, String>) -> String {
+        let mut out = String::new();
+        for m in &self.mismatches {
+            out.push_str(&m.render(names));
+            out.push('\n');
+        }
+        out
+    }
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mismatch {
     pub process: ProcessId,
+    /// Index into the process's committed observable log.
     pub position: usize,
     pub pessimistic: Option<Observable>,
     pub optimistic: Option<Observable>,
 }
 
+impl Mismatch {
+    pub fn render(&self, names: &BTreeMap<ProcessId, String>) -> String {
+        let name = |p: ProcessId| {
+            names
+                .get(&p)
+                .cloned()
+                .unwrap_or_else(|| p.to_string())
+        };
+        let side = |o: &Option<Observable>| match o {
+            Some(Observable::Sent { to, kind, payload }) => {
+                format!("sent {kind} {payload} → {}", name(*to))
+            }
+            Some(Observable::Received {
+                from,
+                kind,
+                payload,
+            }) => format!("recv {kind} {payload} ← {}", name(*from)),
+            Some(Observable::Output { payload }) => format!("out {payload}"),
+            None => "(log ended)".to_string(),
+        };
+        format!(
+            "{} event #{}: pessimistic `{}` vs optimistic `{}`",
+            name(self.process),
+            self.position,
+            side(&self.pessimistic),
+            side(&self.optimistic),
+        )
+    }
+}
+
 impl fmt::Display for Mismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} @{}: pessimistic={:?} optimistic={:?}",
-            self.process, self.position, self.pessimistic, self.optimistic
-        )
+        f.write_str(&self.render(&BTreeMap::new()))
     }
 }
 
@@ -73,6 +122,91 @@ pub fn check_equivalence(pessimistic: &SimResult, optimistic: &SimResult) -> Equ
     EquivReport {
         equivalent: mismatches.is_empty(),
         mismatches,
+    }
+}
+
+/// Extract a committed run's receive schedule: for each process, the peer
+/// order of its committed non-return receives. This is the only delivery
+/// freedom the engine has (returns match their call; everything else is
+/// deterministic given the receive order), so replaying it through the
+/// pessimistic engine reconstructs the unique sequential execution the
+/// optimistic run claims to equal.
+pub fn committed_schedule(result: &SimResult) -> DeliverySchedule {
+    let mut sched = DeliverySchedule::new();
+    for (&p, log) in &result.logs {
+        let order: Vec<ProcessId> = log
+            .iter()
+            .filter_map(|ev| match ev {
+                Observable::Received { from, kind, .. } if *kind != ObsKind::Return => {
+                    Some(*from)
+                }
+                _ => None,
+            })
+            .collect();
+        sched.insert(p, order);
+    }
+    sched
+}
+
+/// Theorem-1 verdict for an optimistic run against its pessimistic
+/// reference.
+///
+/// Theorem 1 (§5) promises the committed behavior equals *a* sequential
+/// execution — not the particular one the same-seed pessimistic run chose.
+/// At a fan-in receive point, which sender's message arrives first is legal
+/// CSP nondeterminism, so a strict positional comparison can cry wolf. The
+/// sound oracle: extract the optimistic run's committed receive schedule
+/// and replay it through the sequential engine; Theorem 1 holds iff that
+/// sequential execution reproduces the optimistic logs exactly.
+#[derive(Debug)]
+pub enum Theorem1Verdict {
+    /// Strictly identical to the same-seed pessimistic run.
+    Identical,
+    /// Differs from the reference, but the committed schedule replays to
+    /// identical logs on the sequential engine: the difference is legal
+    /// merge nondeterminism. `strict` records where the runs differed.
+    EquivalentModuloMergeOrder { strict: EquivReport },
+    /// No sequential execution follows the committed schedule to the same
+    /// logs — a genuine Theorem-1 violation.
+    Violation {
+        strict: EquivReport,
+        /// Mismatches between the schedule replay and the optimistic run.
+        replay: EquivReport,
+        /// The replay run itself, for forensics.
+        replay_result: Box<SimResult>,
+    },
+}
+
+impl Theorem1Verdict {
+    pub fn holds(&self) -> bool {
+        !matches!(self, Theorem1Verdict::Violation { .. })
+    }
+}
+
+/// Check Theorem 1: strict comparison first, then the committed-schedule
+/// replay oracle. `rerun` must execute the same system pessimistically
+/// under the given delivery schedule (same latency model and seed) — see
+/// `SimConfig::delivery_schedule`.
+pub fn check_theorem1(
+    pessimistic: &SimResult,
+    optimistic: &SimResult,
+    rerun: impl FnOnce(Arc<DeliverySchedule>) -> SimResult,
+) -> Theorem1Verdict {
+    let strict = check_equivalence(pessimistic, optimistic);
+    if strict.equivalent {
+        return Theorem1Verdict::Identical;
+    }
+    let sched = Arc::new(committed_schedule(optimistic));
+    let replay_result = rerun(sched);
+    let replay = check_equivalence(&replay_result, optimistic);
+    if replay.equivalent {
+        Theorem1Verdict::EquivalentModuloMergeOrder { strict }
+    } else {
+        Theorem1Verdict::Violation {
+            strict,
+            replay,
+            replay_result: Box::new(replay_result),
+        }
     }
 }
 
@@ -121,8 +255,14 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn result_with_log(log: Vec<Observable>) -> SimResult {
+        result_with_logs(vec![(ProcessId(0), log)])
+    }
+
+    fn result_with_logs(entries: Vec<(ProcessId, Vec<Observable>)>) -> SimResult {
         let mut logs = BTreeMap::new();
-        logs.insert(ProcessId(0), log);
+        for (p, log) in entries {
+            logs.insert(p, log);
+        }
         SimResult {
             completion: 0,
             process_done: BTreeMap::new(),
@@ -131,6 +271,9 @@ mod tests {
             logs,
             unresolved: Vec::new(),
             truncated: false,
+            provenance: BTreeMap::new(),
+            latency_draws: Vec::new(),
+            resolutions: BTreeMap::new(),
         }
     }
 
@@ -176,5 +319,146 @@ mod tests {
         let rep = check_equivalence(&a, &b);
         assert!(!rep.equivalent);
         assert_eq!(rep.mismatches[0].optimistic, None);
+    }
+
+    #[test]
+    fn mismatch_render_names_process_index_and_both_sides() {
+        let a = result_with_log(vec![Observable::Received {
+            from: ProcessId(1),
+            kind: ObsKind::Call,
+            payload: Value::Int(102),
+        }]);
+        let b = result_with_log(vec![Observable::Received {
+            from: ProcessId(2),
+            kind: ObsKind::Call,
+            payload: Value::Int(2),
+        }]);
+        let rep = check_equivalence(&a, &b);
+        let names = BTreeMap::from([
+            (ProcessId(0), "Board".to_string()),
+            (ProcessId(1), "Bob".to_string()),
+            (ProcessId(2), "Alice".to_string()),
+        ]);
+        let line = rep.mismatches[0].render(&names);
+        assert_eq!(
+            line,
+            "Board event #0: pessimistic `recv call 102 ← Bob` vs optimistic `recv call 2 ← Alice`"
+        );
+        // Display (no name map) falls back to the letter names.
+        assert_eq!(
+            rep.mismatches[0].to_string(),
+            "X event #0: pessimistic `recv call 102 ← Y` vs optimistic `recv call 2 ← Z`"
+        );
+    }
+
+    #[test]
+    fn length_divergence_render_marks_ended_log() {
+        let a = result_with_log(vec![Observable::Output {
+            payload: Value::Int(1),
+        }]);
+        let b = result_with_log(vec![]);
+        let rep = check_equivalence(&a, &b);
+        assert_eq!(
+            rep.mismatches[0].to_string(),
+            "X event #0: pessimistic `out 1` vs optimistic `(log ended)`"
+        );
+    }
+
+    #[test]
+    fn first_mismatch_is_earliest_by_index_then_process() {
+        let mk = |p: u32, n: i64| {
+            (
+                ProcessId(p),
+                vec![Observable::Output {
+                    payload: Value::Int(n),
+                }],
+            )
+        };
+        let a = result_with_logs(vec![mk(0, 1), mk(1, 2)]);
+        let b = result_with_logs(vec![mk(0, 9), mk(1, 9)]);
+        let rep = check_equivalence(&a, &b);
+        assert_eq!(rep.first().unwrap().process, ProcessId(0));
+    }
+
+    #[test]
+    fn committed_schedule_extracts_non_return_receive_order() {
+        let log = vec![
+            Observable::Received {
+                from: ProcessId(1),
+                kind: ObsKind::Call,
+                payload: Value::Int(100),
+            },
+            Observable::Sent {
+                to: ProcessId(1),
+                kind: ObsKind::Return,
+                payload: Value::Bool(true),
+            },
+            Observable::Received {
+                from: ProcessId(2),
+                kind: ObsKind::Return,
+                payload: Value::Bool(true),
+            },
+            Observable::Received {
+                from: ProcessId(2),
+                kind: ObsKind::Send,
+                payload: Value::Int(0),
+            },
+        ];
+        let r = result_with_log(log);
+        let sched = committed_schedule(&r);
+        // Return receives are excluded; calls and sends are kept in order.
+        assert_eq!(sched[&ProcessId(0)], vec![ProcessId(1), ProcessId(2)]);
+    }
+
+    #[test]
+    fn theorem1_identical_short_circuits_without_rerun() {
+        let log = vec![Observable::Output {
+            payload: Value::Int(1),
+        }];
+        let a = result_with_log(log.clone());
+        let b = result_with_log(log);
+        let v = check_theorem1(&a, &b, |_| panic!("rerun must not be called"));
+        assert!(matches!(v, Theorem1Verdict::Identical));
+        assert!(v.holds());
+    }
+
+    #[test]
+    fn theorem1_replay_match_is_equivalent_modulo_merge_order() {
+        let a = result_with_log(vec![Observable::Output {
+            payload: Value::Int(1),
+        }]);
+        let b = result_with_log(vec![Observable::Output {
+            payload: Value::Int(2),
+        }]);
+        let b_clone = result_with_log(vec![Observable::Output {
+            payload: Value::Int(2),
+        }]);
+        let v = check_theorem1(&a, &b, move |_| b_clone);
+        assert!(matches!(
+            v,
+            Theorem1Verdict::EquivalentModuloMergeOrder { .. }
+        ));
+        assert!(v.holds());
+    }
+
+    #[test]
+    fn theorem1_replay_mismatch_is_violation() {
+        let a = result_with_log(vec![Observable::Output {
+            payload: Value::Int(1),
+        }]);
+        let b = result_with_log(vec![Observable::Output {
+            payload: Value::Int(2),
+        }]);
+        let replay = result_with_log(vec![Observable::Output {
+            payload: Value::Int(3),
+        }]);
+        let v = check_theorem1(&a, &b, move |_| replay);
+        assert!(!v.holds());
+        match v {
+            Theorem1Verdict::Violation { replay, .. } => {
+                assert!(!replay.equivalent);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
     }
 }

@@ -10,12 +10,23 @@ pub mod audit;
 pub mod behavior;
 pub mod engine;
 pub mod equiv;
+pub mod forensics;
 pub mod latency;
 pub mod trace;
 
 pub use audit::{assert_audit_clean, audit_trace, Violation};
 pub use behavior::{reply_label, Behavior, BehaviorState, Effect, FnBehavior, Resume};
-pub use engine::{ObsKind, Observable, SimBuilder, SimConfig, SimResult, World};
-pub use equiv::{check_conservation, check_equivalence, EquivReport};
-pub use latency::{LatencyModel, LatencySampler};
+pub use engine::{
+    DeliverySchedule, FaultInjection, ObsKind, ObsMeta, Observable, SimBuilder, SimConfig,
+    SimResult, World,
+};
+pub use equiv::{
+    check_conservation, check_equivalence, check_theorem1, committed_schedule, EquivReport,
+    Mismatch, Theorem1Verdict,
+};
+pub use forensics::{
+    first_divergence, happens_before_chain, render_report, shrink_schedule, DivergenceReport,
+    FirstDivergence, HbStep, ShrunkSchedule,
+};
+pub use latency::{DrawKey, LatencyModel, LatencySampler};
 pub use trace::{SimStats, Trace, TraceEvent, VTime};

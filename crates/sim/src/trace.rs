@@ -2,7 +2,9 @@
 //! used to re-render the paper's time-line figures, compute statistics, and
 //! check Theorem 1 (trace equivalence with the pessimistic execution).
 
-use opcsp_core::{Control, Guard, GuessId, InternerStats, Label, ProcessId, ThreadId, Value, WireStats};
+use opcsp_core::{
+    Control, Guard, GuessId, InternerStats, Label, MsgId, ProcessId, ThreadId, Value, WireStats,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -15,6 +17,9 @@ pub enum TraceEvent {
     /// A data message left a thread.
     Send {
         t: VTime,
+        /// Engine-assigned message id — joins this event with its
+        /// `Deliver`/`Orphan` counterpart and the provenance log.
+        msg: MsgId,
         from: ThreadId,
         to: ProcessId,
         label: Label,
@@ -23,6 +28,7 @@ pub enum TraceEvent {
     /// A data message was delivered to (consumed by) a thread.
     Deliver {
         t: VTime,
+        msg: MsgId,
         to: ThreadId,
         from: ProcessId,
         label: Label,
@@ -31,6 +37,7 @@ pub enum TraceEvent {
     /// An arriving message was discarded as an orphan (§4.2.3).
     Orphan {
         t: VTime,
+        msg: MsgId,
         at: ProcessId,
         label: Label,
         guess: GuessId,
@@ -370,6 +377,7 @@ mod tests {
         let mut tr = Trace::default();
         tr.push(TraceEvent::Send {
             t: 0,
+            msg: MsgId(0),
             from: tid(0, 0),
             to: ProcessId(1),
             label: "C1".into(),
@@ -377,6 +385,7 @@ mod tests {
         });
         tr.push(TraceEvent::Deliver {
             t: 10,
+            msg: MsgId(0),
             to: tid(1, 0),
             from: ProcessId(0),
             label: "C1".into(),

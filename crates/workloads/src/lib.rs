@@ -12,10 +12,13 @@
 //!   and PRECEDENCE-stress experiments).
 //! - [`contention`] — two independent clients sharing one server (the §5
 //!   Time Warp comparison workload, E6).
+//! - [`fan_in`] — P producers streaming into one consumer (multi-writer
+//!   guard-tag reuse; the interner-hit workload).
 //! - [`servers`] — reusable server behaviors.
 
 pub mod chain;
 pub mod contention;
+pub mod fan_in;
 pub mod servers;
 pub mod streaming;
 pub mod two_clients;
