@@ -15,7 +15,6 @@ fn run_once(n: u32, optimism: bool, latency_ms: u64) -> opcsp_rt::RtResult {
         latency: Duration::from_millis(latency_ms),
         fork_timeout: Duration::from_secs(2),
         run_timeout: Duration::from_secs(20),
-        grace: Duration::from_millis(4 * latency_ms.max(1)),
         ..RtConfig::default()
     };
     let mut w = RtWorld::new(cfg);

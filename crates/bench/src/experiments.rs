@@ -789,7 +789,6 @@ pub fn interner_stats() -> Table {
                 ..CoreConfig::default()
             },
             latency: Duration::from_millis(1),
-            grace: Duration::from_millis(10),
             ..opcsp_rt::RtConfig::default()
         });
         w.add_process(PutLineClient::new(16), true);

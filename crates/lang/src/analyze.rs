@@ -149,6 +149,25 @@ pub fn analyze_parallelize(s1: &Block, s2: &Block) -> ParallelizeAnalysis {
     }
 }
 
+/// Does a block contain an infinite `while true { ... }` loop at any
+/// depth? In the mini-CSP idiom servers loop forever and only *client*
+/// processes run off the end of their program. The threaded runtime's
+/// completion detection keys on exactly that: processes without such a
+/// loop are the clients whose termination (plus guess resolution) ends
+/// the run.
+pub fn runs_forever(b: &Block) -> bool {
+    use opcsp_core::Value;
+    b.iter().any(|s| match s {
+        Stmt::While { cond, body } => {
+            matches!(cond, Expr::Lit(Value::Bool(true))) || runs_forever(body)
+        }
+        Stmt::If { then_, else_, .. } => runs_forever(then_) || runs_forever(else_),
+        Stmt::ParallelizeHint { s1, s2, .. } => runs_forever(s1) || runs_forever(s2),
+        Stmt::ForkJoin { s1, s2, .. } => runs_forever(s1) || runs_forever(s2),
+        _ => false,
+    })
+}
+
 /// Does a block contain a `parallelize`/`fork` construct (at any depth)?
 /// The paper assumes S1 "does not itself contain a computation which is
 /// being parallelized" (§3.2); the transform rejects such programs.
@@ -229,6 +248,22 @@ mod tests {
         assert_eq!(
             rw.writes,
             BTreeSet::from(["a".into(), "b".into(), "f".into()])
+        );
+    }
+
+    #[test]
+    fn infinite_server_loops_detected() {
+        let p = parse_program(
+            r#"process S { while true { receive q; reply true; } }
+               process C { x = call S(1) : "C1"; output x; }
+               process N { while more { receive q; reply true; } }"#,
+        )
+        .unwrap();
+        assert!(runs_forever(&p.procs[0].body), "canonical server loop");
+        assert!(!runs_forever(&p.procs[1].body), "straight-line client");
+        assert!(
+            !runs_forever(&p.procs[2].body),
+            "a data-dependent while is not an infinite loop"
         );
     }
 

@@ -22,6 +22,13 @@
 //!   --inject-phantom     deliberately skip observable-log truncation on
 //!                        rollback — a genuine Theorem-1 violation that
 //!                        demos the forensics path
+//!   --rt                 run on the real-thread runtime instead of the
+//!                        simulator (latency/timeout ticks become ms);
+//!                        processes without an infinite loop are the
+//!                        clients whose completion ends the run
+//!   --chaos <spec>       (with --rt) inject network faults under the
+//!                        reliable-delivery sublayer, e.g.
+//!                        drop=0.2,dup=0.1,reorder=3,seed=7,part=0-1@0+80
 //! ```
 //!
 //! `--compare` checks Theorem 1 with the replay oracle: the strict
@@ -31,8 +38,13 @@
 //! execution can produce — is a divergence; cross-sender merge order at a
 //! fan-in is legal CSP nondeterminism.
 //!
-//! Exit code 1 on parse/transform errors, 2 if `--compare` finds a
-//! Theorem-1 divergence (which would be an engine bug worth reporting).
+//! `--rt --compare` is the chaos differential: the chaotic run's
+//! committed logs must equal a fault-free run's — the reliable sublayer
+//! must absorb every drop/duplicate/reorder before the protocol sees it.
+//!
+//! Exit code 1 on parse/transform errors (or an `--rt` run that times
+//! out or panics), 2 if `--compare` finds a Theorem-1 divergence (which
+//! would be an engine bug worth reporting).
 
 use opcsp_core::{CoreConfig, ProcessId};
 use opcsp_lang::{parse_program, program_to_string, System};
@@ -58,6 +70,8 @@ struct Options {
     forensics: bool,
     inject_lifo: bool,
     inject_phantom: bool,
+    rt: bool,
+    chaos: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -75,6 +89,8 @@ fn parse_args() -> Result<Options, String> {
         forensics: false,
         inject_lifo: false,
         inject_phantom: false,
+        rt: false,
+        chaos: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -92,6 +108,10 @@ fn parse_args() -> Result<Options, String> {
             "--forensics" => opts.forensics = true,
             "--inject-lifo" => opts.inject_lifo = true,
             "--inject-phantom" => opts.inject_phantom = true,
+            "--rt" => opts.rt = true,
+            "--chaos" => {
+                opts.chaos = Some(args.next().ok_or("--chaos needs a spec")?);
+            }
             "--latency" => opts.latency = num("--latency")?,
             "--jitter" => opts.jitter = num("--jitter")?,
             "--seed" => opts.seed = num("--seed")?,
@@ -112,7 +132,8 @@ fn usage() {
     eprintln!(
         "usage: opcsp-run <file.csp> [--pessimistic] [--compare] [--latency d] \
          [--jitter s] [--seed n] [--timeline] [--show-transform] [--timeout t] \
-         [--retry-limit L] [--forensics] [--inject-lifo] [--inject-phantom]"
+         [--retry-limit L] [--forensics] [--inject-lifo] [--inject-phantom] \
+         [--rt] [--chaos spec]"
     );
 }
 
@@ -144,6 +165,216 @@ fn summarize(label: &str, r: &SimResult) {
     }
     if r.truncated {
         println!("WARNING: run truncated by the event cap");
+    }
+}
+
+fn summarize_rt(label: &str, names: &BTreeMap<ProcessId, String>, r: &opcsp_rt::RtResult) {
+    let s = &r.stats;
+    println!(
+        "{label}: wall={:.1}ms forks={} commits={} aborts={} rollbacks={} orphans={} \
+         msgs={} ctrl={} | net: drops={} dups={} retx={} acks={} reorder-releases={}",
+        r.wall.as_secs_f64() * 1e3,
+        s.forks,
+        s.commits,
+        s.aborts,
+        s.rollbacks,
+        s.orphans,
+        s.data_messages,
+        s.control_messages,
+        s.drops_injected,
+        s.dups_injected,
+        s.retransmits,
+        s.acks,
+        s.reorder_releases,
+    );
+    if !r.external.is_empty() {
+        println!("outputs:");
+        for (p, v) in &r.external {
+            let name = names.get(p).cloned().unwrap_or_else(|| p.to_string());
+            println!("  {name}: {v}");
+        }
+    }
+    if r.timed_out {
+        println!("WARNING: run timed out before clients finished or the network drained");
+    }
+    for p in &r.panicked {
+        let name = names.get(p).cloned().unwrap_or_else(|| p.to_string());
+        println!(
+            "WARNING: {name} panicked: {}",
+            r.panics.get(p).map(String::as_str).unwrap_or("<unknown>")
+        );
+    }
+    for p in &r.stragglers {
+        let name = names.get(p).cloned().unwrap_or_else(|| p.to_string());
+        println!("WARNING: {name} was still running at the join deadline (straggler)");
+    }
+}
+
+/// Theorem-1 merge-order equivalence for two committed rt logs: the
+/// reliable sublayer guarantees FIFO *per link*, so the projection of
+/// receives onto each sender (and of sends onto each target) must match
+/// positionally, but cross-sender interleaving at a fan-in is legal CSP
+/// nondeterminism — chaos may reorder it. Outputs are compared as
+/// multisets (they follow the merge).
+fn merge_equiv(base: &[opcsp_sim::Observable], chaotic: &[opcsp_sim::Observable]) -> bool {
+    use opcsp_sim::Observable as O;
+    if base.len() != chaotic.len() {
+        return false;
+    }
+    let peers: std::collections::BTreeSet<ProcessId> = base
+        .iter()
+        .chain(chaotic)
+        .filter_map(|o| match o {
+            O::Received { from, .. } => Some(*from),
+            O::Sent { to, .. } => Some(*to),
+            _ => None,
+        })
+        .collect();
+    for peer in peers {
+        let recv = |log: &[opcsp_sim::Observable]| -> Vec<opcsp_sim::Observable> {
+            log.iter()
+                .filter(|o| matches!(o, O::Received { from, .. } if *from == peer))
+                .cloned()
+                .collect()
+        };
+        let sent = |log: &[opcsp_sim::Observable]| -> Vec<opcsp_sim::Observable> {
+            log.iter()
+                .filter(|o| matches!(o, O::Sent { to, .. } if *to == peer))
+                .cloned()
+                .collect()
+        };
+        if recv(base) != recv(chaotic) || sent(base) != sent(chaotic) {
+            return false;
+        }
+    }
+    let outputs = |log: &[opcsp_sim::Observable]| -> Vec<String> {
+        let mut v: Vec<String> = log
+            .iter()
+            .filter_map(|o| match o {
+                O::Output { payload } => Some(format!("{payload:?}")),
+                _ => None,
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    outputs(base) == outputs(chaotic)
+}
+
+/// Run on the real-thread runtime; with `--compare`, check the chaos
+/// differential: the chaotic run's committed logs must equal a fault-free
+/// run's.
+fn run_rt(sys: &System, opts: &Options) -> ExitCode {
+    use std::time::Duration;
+    let faults = match &opts.chaos {
+        Some(spec) => match opcsp_rt::NetFaults::parse(spec) {
+            Ok(mut f) => {
+                if !spec.contains("seed=") {
+                    f.seed = opts.seed;
+                }
+                f
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => opcsp_rt::NetFaults::none(),
+    };
+    let cfg = |faults: opcsp_rt::NetFaults| opcsp_rt::RtConfig {
+        core: CoreConfig {
+            retry_limit: opts.retry_limit,
+            ..CoreConfig::default()
+        },
+        optimism: !opts.pessimistic,
+        // Simulator ticks become milliseconds on real threads; a fork
+        // timeout in simulated ticks would dwarf any real run, so cap it.
+        latency: Duration::from_millis(opts.latency),
+        fork_timeout: Duration::from_millis(opts.timeout).min(Duration::from_secs(10)),
+        run_timeout: Duration::from_secs(30),
+        faults,
+        ..opcsp_rt::RtConfig::default()
+    };
+    let names: BTreeMap<ProcessId, String> =
+        sys.bindings.iter().map(|(n, p)| (*p, n.clone())).collect();
+
+    let chaotic = sys.rt_world(cfg(faults.clone())).run();
+    let failed = chaotic.timed_out || !chaotic.panicked.is_empty();
+    if opts.compare {
+        let baseline = sys.rt_world(cfg(opcsp_rt::NetFaults::none())).run();
+        summarize_rt("fault-free", &names, &baseline);
+        summarize_rt("chaotic   ", &names, &chaotic);
+        let mut diverged = false;
+        let mut merge_only = false;
+        for (p, base_log) in &baseline.logs {
+            let chaos_log = chaotic.logs.get(p);
+            if chaos_log == Some(base_log) {
+                continue;
+            }
+            if chaos_log.is_some_and(|l| merge_equiv(base_log, l)) {
+                merge_only = true;
+                continue;
+            }
+            let name = names.get(p).cloned().unwrap_or_else(|| p.to_string());
+            eprintln!(
+                "DIVERGENCE at {name}: committed log differs under chaos\n  \
+                 fault-free: {base_log:?}\n  chaotic:    {chaos_log:?}"
+            );
+            diverged = true;
+        }
+        if baseline.external != chaotic.external {
+            let multiset = |e: &[(ProcessId, opcsp_core::Value)]| -> Vec<String> {
+                let mut v: Vec<String> = e.iter().map(|x| format!("{x:?}")).collect();
+                v.sort();
+                v
+            };
+            if multiset(&baseline.external) == multiset(&chaotic.external) {
+                merge_only = true;
+            } else {
+                eprintln!(
+                    "DIVERGENCE: released external outputs differ under chaos\n  \
+                     fault-free: {:?}\n  chaotic:    {:?}",
+                    baseline.external, chaotic.external
+                );
+                diverged = true;
+            }
+        }
+        if diverged {
+            eprintln!(
+                "the reliable-delivery sublayer failed to absorb the injected faults \
+                 (engine bug!)"
+            );
+            return ExitCode::from(2);
+        }
+        if merge_only {
+            println!(
+                "chaos differential: holds modulo legal fan-in merge order ✓ \
+                 (per-link FIFO projections identical; cross-sender \
+                 interleaving differs, which is legal CSP nondeterminism)"
+            );
+        } else {
+            println!("chaos differential: committed logs identical ✓");
+        }
+        if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    } else {
+        summarize_rt(
+            if opts.pessimistic {
+                "rt pessimistic"
+            } else {
+                "rt optimistic "
+            },
+            &names,
+            &chaotic,
+        );
+        if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
     }
 }
 
@@ -188,6 +419,14 @@ fn main() -> ExitCode {
             );
         }
         println!();
+    }
+
+    if opts.rt {
+        return run_rt(&sys, &opts);
+    }
+    if opts.chaos.is_some() {
+        eprintln!("error: --chaos requires --rt (the simulator injects faults via --jitter)");
+        return ExitCode::FAILURE;
     }
 
     let latency = if opts.jitter > 0 {

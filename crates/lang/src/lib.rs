@@ -24,7 +24,7 @@ pub mod pretty;
 pub mod system;
 pub mod transform;
 
-pub use analyze::{analyze_parallelize, ParallelizeAnalysis, RwSets};
+pub use analyze::{analyze_parallelize, runs_forever, ParallelizeAnalysis, RwSets};
 pub use ast::{block, BinOp, Block, Expr, ProcDef, Program, Stmt, UnOp};
 pub use interp::{InterpState, ProgramBehavior};
 pub use parser::{parse_expr, parse_program, ParseError};

@@ -51,6 +51,25 @@ impl System {
     pub fn run(&self, cfg: SimConfig) -> SimResult {
         self.world(cfg).run()
     }
+
+    /// Build a real-thread runtime world from the compiled system.
+    ///
+    /// Processes whose program terminates (no infinite `while true` loop,
+    /// [`crate::analyze::runs_forever`]) are registered as *clients*: the
+    /// runtime ends the run when every client has finished and the
+    /// network has drained to quiescence. Ever-looping servers are halted
+    /// by the coordinator's shutdown.
+    pub fn rt_world(&self, cfg: opcsp_rt::RtConfig) -> opcsp_rt::RtWorld {
+        let mut w = opcsp_rt::RtWorld::new(cfg);
+        for proc in &self.transformed.program.procs {
+            let is_client = !crate::analyze::runs_forever(&proc.body);
+            w.add_process(
+                ProgramBehavior::new(proc.clone(), self.bindings.clone()),
+                is_client,
+            );
+        }
+        w
+    }
 }
 
 /// Parse, transform, and run a source program in one call.

@@ -5,9 +5,15 @@
 //! protocol core (`opcsp_core::ProcessCore`) the simulator uses. Shows
 //! the transformation is not simulator-bound and provides the wall-clock
 //! measurements of experiment E7.
+//!
+//! The network is a two-layer transport (DESIGN.md §9): a seeded chaos
+//! layer ([`NetFaults`]: drops, duplicates, reordering, partitions)
+//! underneath a reliable-delivery sublayer (sequencing, cumulative acks,
+//! retransmission, dedup, in-order release), so the protocol core keeps
+//! the reliable FIFO network the paper assumes.
 
 pub mod net;
 pub mod runtime;
 
-pub use net::Delayer;
+pub use net::{Delayer, FlushClass, NetFaults, NetStats, Partition, Transport};
 pub use runtime::{RtConfig, RtResult, RtStats, RtWorld};

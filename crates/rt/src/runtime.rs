@@ -8,13 +8,23 @@
 //! the distributed setting whose round trips call streaming hides — the
 //! E7 wall-clock benchmarks measure precisely that.
 //!
+//! All protocol traffic goes through the two-layer `net::Transport`
+//! (DESIGN.md §9): a seeded chaos layer (drops, duplicates, reordering,
+//! partitions — [`crate::net::NetFaults`]) underneath a reliable-delivery
+//! sublayer (per-link sequencing, cumulative acks, retransmission, dedup,
+//! in-order release), so the protocol core keeps seeing the reliable FIFO
+//! network the paper assumes even when the wire misbehaves.
+//!
 //! Scope note (documented in DESIGN.md): unlike the simulator, the
 //! runtime detects completion by waiting for designated *client*
-//! processes to finish their programs and resolve their guesses, then
-//! granting a quiescence grace period before shutting servers down.
+//! processes to finish their programs and resolve their guesses. It then
+//! drains the network to quiescence — probe rounds that terminate when no
+//! frame is unacked anywhere and no actor made progress between two
+//! consecutive rounds — before halting the actors, so in-flight commit
+//! waves (and their retransmissions) always land.
 
-use crate::net::Delayer;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::net::{Delayer, FlushClass, NetFaults, Payload, Transport, Wire};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use opcsp_core::{
     ArrivalVerdict, CallId, Control, CoreConfig, DataKind, Envelope, GuessId, JoinDecision, MsgId,
     ProcessCore, ProcessId, Value,
@@ -23,6 +33,7 @@ use opcsp_sim::{Behavior, BehaviorState, Effect, ObsKind, Observable, Resume};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Runtime configuration.
@@ -38,8 +49,9 @@ pub struct RtConfig {
     pub compute_unit: Duration,
     /// Hard cap on the whole run.
     pub run_timeout: Duration,
-    /// Quiescence grace after the last client finishes.
-    pub grace: Duration,
+    /// Network fault injection (the chaos layer). Fault-free by default;
+    /// the reliable-delivery sublayer runs either way.
+    pub faults: NetFaults,
 }
 
 impl Default for RtConfig {
@@ -51,7 +63,7 @@ impl Default for RtConfig {
             fork_timeout: Duration::from_secs(5),
             compute_unit: Duration::ZERO,
             run_timeout: Duration::from_secs(30),
-            grace: Duration::from_millis(20),
+            faults: NetFaults::none(),
         }
     }
 }
@@ -75,6 +87,17 @@ pub struct RtStats {
     pub wire: opcsp_core::WireStats,
     /// Guard-interner counters aggregated across actors.
     pub interner: opcsp_core::InternerStats,
+    /// Transmissions the chaos layer dropped (incl. partition windows).
+    pub drops_injected: u64,
+    /// Transmissions the chaos layer duplicated.
+    pub dups_injected: u64,
+    /// Reliable-sublayer retransmissions of unacked frames.
+    pub retransmits: u64,
+    /// Standalone ack frames sent (piggybacked acks are free).
+    pub acks: u64,
+    /// Frames released to the protocol after waiting in the out-of-order
+    /// buffer — proof the reorder chaos actually scrambled a link.
+    pub reorder_releases: u64,
 }
 
 impl RtStats {
@@ -91,6 +114,19 @@ impl RtStats {
         self.table_bytes += o.table_bytes;
         self.wire.merge(o.wire);
         self.interner.merge(o.interner);
+        self.drops_injected += o.drops_injected;
+        self.dups_injected += o.dups_injected;
+        self.retransmits += o.retransmits;
+        self.acks += o.acks;
+        self.reorder_releases += o.reorder_releases;
+    }
+
+    fn absorb_net(&mut self, n: crate::net::NetStats) {
+        self.drops_injected += n.drops_injected;
+        self.dups_injected += n.dups_injected;
+        self.retransmits += n.retransmits;
+        self.acks += n.acks;
+        self.reorder_releases += n.reorder_releases;
     }
 }
 
@@ -103,25 +139,37 @@ pub struct RtResult {
     pub logs: BTreeMap<ProcessId, Vec<Observable>>,
     /// Released external outputs.
     pub external: Vec<(ProcessId, Value)>,
-    /// True if the run hit `run_timeout` before the clients finished.
+    /// True if the run hit `run_timeout` before the clients finished (or
+    /// before the post-completion network drain reached quiescence).
     pub timed_out: bool,
-}
-
-enum Wire {
-    Data(Envelope),
-    Ctrl(Control),
-    Timer(GuessId),
-    Shutdown,
+    /// Actors whose thread panicked (in pid order).
+    pub panicked: Vec<ProcessId>,
+    /// Panic payloads recovered from the panicked actors' `join()`.
+    pub panics: BTreeMap<ProcessId, String>,
+    /// Actors still running when the join deadline expired; their threads
+    /// are detached and their logs/stats are missing from this result.
+    pub stragglers: Vec<ProcessId>,
 }
 
 enum Report {
     ClientDone(ProcessId),
-    Final {
+    /// Answer to a `Wire::Probe`: the actor's transport counters at probe
+    /// time — (messages originated, messages released, frames unacked).
+    Quiet {
         pid: ProcessId,
-        stats: RtStats,
-        log: Vec<Observable>,
-        external: Vec<Value>,
+        round: u64,
+        sent: u64,
+        delivered: u64,
+        unacked: u64,
     },
+    Final(Box<FinalReport>),
+}
+
+struct FinalReport {
+    pid: ProcessId,
+    stats: RtStats,
+    log: Vec<Observable>,
+    external: Vec<Value>,
 }
 
 /// Builder/handle for a runtime world.
@@ -151,7 +199,8 @@ impl RtWorld {
         id
     }
 
-    /// Run to completion (all clients finished) or timeout.
+    /// Run to completion (all clients finished + network drained) or
+    /// timeout.
     pub fn run(self) -> RtResult {
         let n = self.behaviors.len();
         let delayer: Arc<Delayer<Wire>> = Arc::new(Delayer::spawn());
@@ -169,15 +218,24 @@ impl RtWorld {
         let start = Instant::now();
         let mut handles = Vec::with_capacity(n);
         for (i, (behavior, rx)) in self.behaviors.into_iter().zip(receivers).enumerate() {
+            let pid = ProcessId(i as u32);
             let actor = Actor {
-                pid: ProcessId(i as u32),
+                pid,
                 behavior,
                 cfg: self.cfg.clone(),
-                senders: senders.clone(),
+                transport: Transport::new(
+                    pid,
+                    self.cfg.faults.clone(),
+                    self.cfg.latency,
+                    start,
+                    delayer.clone(),
+                    senders.clone(),
+                ),
+                self_sender: senders[i].clone(),
                 delayer: delayer.clone(),
                 inbox: rx,
                 report: report_tx.clone(),
-                core: ProcessCore::new(ProcessId(i as u32), self.cfg.core.clone()),
+                core: ProcessCore::new(pid, self.cfg.core.clone()),
                 threads: BTreeMap::new(),
                 pool: Vec::new(),
                 ready: VecDeque::new(),
@@ -185,7 +243,7 @@ impl RtWorld {
                 guesses: BTreeMap::new(),
                 external: Vec::new(),
                 done_reported: false,
-                is_client: self.clients.contains(&ProcessId(i as u32)),
+                is_client: self.clients.contains(&pid),
                 relayed: std::collections::BTreeSet::new(),
             };
             let mids = msg_ids.clone();
@@ -199,10 +257,13 @@ impl RtWorld {
         }
         drop(report_tx);
 
-        // Coordinator: wait for every client to finish.
+        // Phase 1 — wait for every client to finish. `Disconnected` means
+        // every actor thread exited (all report senders dropped): that is
+        // a panic wave, not a timeout, and is reported as such.
         let mut waiting: Vec<ProcessId> = self.clients.clone();
         let deadline = start + self.cfg.run_timeout;
         let mut timed_out = false;
+        let mut all_dead = false;
         while !waiting.is_empty() {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
@@ -211,45 +272,82 @@ impl RtWorld {
             }
             match report_rx.recv_timeout(left) {
                 Ok(Report::ClientDone(pid)) => waiting.retain(|p| *p != pid),
-                Ok(Report::Final { .. }) => {}
-                Err(_) => {
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => {
                     timed_out = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    all_dead = true;
                     break;
                 }
             }
         }
-        if !timed_out {
-            std::thread::sleep(self.cfg.grace);
+
+        // Phase 2 — drain the network to quiescence before halting anyone:
+        // in-flight commit waves (and, under chaos, their retransmissions)
+        // must land, or server committed logs get truncated. A fixed grace
+        // sleep cannot bound that; probe rounds can.
+        if !timed_out && !all_dead {
+            let drained = drain_to_quiescence(&senders, &report_rx, &handles, deadline);
+            if !drained {
+                timed_out = true;
+            }
         }
+
         for s in &senders {
             let _ = s.send(Wire::Shutdown);
         }
-        // Collect final reports.
+
+        // Phase 3 — collect final reports, bounded by a deadline derived
+        // from `run_timeout` (a stuck actor must not hang the harness).
+        let join_budget = (self.cfg.run_timeout / 8)
+            .max(Duration::from_millis(100))
+            .min(Duration::from_secs(5));
+        let collect_deadline = Instant::now() + join_budget;
         let mut stats = RtStats::default();
         let mut logs = BTreeMap::new();
         let mut external = Vec::new();
         let mut finals = 0;
         while finals < n {
-            match report_rx.recv_timeout(Duration::from_secs(5)) {
-                Ok(Report::Final {
-                    pid,
-                    stats: s,
-                    log,
-                    external: e,
-                }) => {
-                    stats.merge(&s);
-                    logs.insert(pid, log);
-                    for v in e {
-                        external.push((pid, v));
+            let left = collect_deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match report_rx.recv_timeout(left) {
+                Ok(Report::Final(f)) => {
+                    stats.merge(&f.stats);
+                    logs.insert(f.pid, f.log);
+                    for v in f.external {
+                        external.push((f.pid, v));
                     }
                     finals += 1;
                 }
-                Ok(Report::ClientDone(_)) => {}
-                Err(_) => break,
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        for h in handles {
-            let _ = h.join();
+
+        // Phase 4 — join with the same deadline; report stragglers instead
+        // of deadlocking, and propagate panic payloads.
+        let mut panicked = Vec::new();
+        let mut panics = BTreeMap::new();
+        let mut stragglers = Vec::new();
+        for (i, h) in handles.into_iter().enumerate() {
+            let pid = ProcessId(i as u32);
+            while !h.is_finished() && Instant::now() < collect_deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if h.is_finished() {
+                if let Err(payload) = h.join() {
+                    panicked.push(pid);
+                    panics.insert(pid, panic_message(payload.as_ref()));
+                }
+            } else {
+                // Detach: the thread leaks, but the harness survives.
+                stragglers.push(pid);
+            }
         }
         let wall = start.elapsed();
         RtResult {
@@ -258,7 +356,86 @@ impl RtWorld {
             logs,
             external,
             timed_out,
+            panicked,
+            panics,
+            stragglers,
         }
+    }
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Probe every live actor until the network is quiescent: all transports
+/// report zero unacked frames and nobody's (sent, delivered) counters
+/// moved between two consecutive complete rounds — i.e. nothing is in
+/// flight and nothing happened, anywhere, between the two snapshots.
+/// Returns false if `deadline` expires first.
+fn drain_to_quiescence(
+    senders: &[Sender<Wire>],
+    report_rx: &Receiver<Report>,
+    handles: &[JoinHandle<()>],
+    deadline: Instant,
+) -> bool {
+    let mut prev: Option<Vec<(ProcessId, u64, u64)>> = None;
+    let mut round: u64 = 0;
+    loop {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        round += 1;
+        let live: Vec<usize> = handles
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !h.is_finished())
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            // Everyone already exited (panic wave): nothing left to drain.
+            return true;
+        }
+        for i in &live {
+            let _ = senders[*i].send(Wire::Probe(round));
+        }
+        let mut replies: BTreeMap<ProcessId, (u64, u64, u64)> = BTreeMap::new();
+        let round_deadline = (Instant::now() + Duration::from_millis(200)).min(deadline);
+        while replies.len() < live.len() {
+            let left = round_deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match report_rx.recv_timeout(left) {
+                Ok(Report::Quiet {
+                    pid,
+                    round: r,
+                    sent,
+                    delivered,
+                    unacked,
+                }) if r == round => {
+                    replies.insert(pid, (sent, delivered, unacked));
+                }
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => return true,
+            }
+        }
+        let complete = replies.len() == live.len();
+        let unacked: u64 = replies.values().map(|v| v.2).sum();
+        let counters: Vec<(ProcessId, u64, u64)> =
+            replies.iter().map(|(p, v)| (*p, v.0, v.1)).collect();
+        if complete && unacked == 0 && prev.as_ref() == Some(&counters) {
+            return true;
+        }
+        prev = if complete { Some(counters) } else { None };
+        std::thread::sleep(Duration::from_millis(1));
     }
 }
 
@@ -321,7 +498,11 @@ struct Actor {
     pid: ProcessId,
     behavior: Arc<dyn Behavior>,
     cfg: RtConfig,
-    senders: Vec<Sender<Wire>>,
+    /// Reliable-delivery endpoint: all data/control traffic goes through
+    /// it (and through the chaos layer underneath).
+    transport: Transport,
+    /// Our own inbox sender, for self-addressed timers and ticks.
+    self_sender: Sender<Wire>,
     delayer: Arc<Delayer<Wire>>,
     inbox: Receiver<Wire>,
     report: Sender<Report>,
@@ -345,12 +526,36 @@ impl Actor {
         self.threads.insert(0, RtThread::new(self.behavior.init()));
         self.ready.push_back((0, Resume::Start));
         self.pump(&msg_ids, &call_ids);
+        self.schedule_tick();
         loop {
             match self.inbox.recv() {
                 Ok(Wire::Shutdown) | Err(_) => break,
-                Ok(Wire::Data(env)) => self.on_data(env),
-                Ok(Wire::Ctrl(ctrl)) => self.on_ctrl(ctrl),
+                Ok(Wire::Frame(f)) => {
+                    for p in self.transport.on_frame(f) {
+                        match p {
+                            Payload::Data(env) => self.on_data(env),
+                            Payload::Ctrl(ctrl) => self.on_ctrl(ctrl),
+                        }
+                    }
+                }
                 Ok(Wire::Timer(g)) => self.on_timer(g),
+                Ok(Wire::Tick) => {
+                    self.transport.tick();
+                    self.schedule_tick();
+                }
+                Ok(Wire::Probe(round)) => {
+                    // Retransmit anything overdue and flush owed acks so
+                    // the drain converges quickly, then report.
+                    self.transport.tick();
+                    let (sent, delivered, unacked) = self.transport.quiet_probe();
+                    let _ = self.report.send(Report::Quiet {
+                        pid: self.pid,
+                        round,
+                        sent,
+                        delivered,
+                        unacked,
+                    });
+                }
             }
             self.pump(&msg_ids, &call_ids);
             self.maybe_report_done();
@@ -362,12 +567,13 @@ impl Actor {
             .collect();
         self.stats.wire.merge(self.core.wire_stats());
         self.stats.interner.merge(self.core.interner_full_stats());
-        let _ = self.report.send(Report::Final {
+        self.stats.absorb_net(self.transport.stats);
+        let _ = self.report.send(Report::Final(Box::new(FinalReport {
             pid: self.pid,
             stats: self.stats.clone(),
             log,
             external: std::mem::take(&mut self.external),
-        });
+        })));
     }
 
     fn maybe_report_done(&mut self) {
@@ -481,11 +687,7 @@ impl Actor {
                     self.guesses.insert(rec.guess, guesses.clone());
                     self.ready
                         .push_back((rec.right_thread, Resume::ForkRight { guesses }));
-                    self.delayer.send_after(
-                        self.cfg.fork_timeout,
-                        self.senders[self.pid.0 as usize].clone(),
-                        Wire::Timer(rec.guess),
-                    );
+                    self.schedule_fork_timer(rec.guess);
                 } else {
                     self.threads.get_mut(&tid).unwrap().status = Status::BlockedCall(cid);
                 }
@@ -510,11 +712,7 @@ impl Actor {
                 self.ready
                     .push_back((rec.right_thread, Resume::ForkRight { guesses }));
                 // Timer comes back through our own inbox.
-                self.delayer.send_after(
-                    self.cfg.fork_timeout,
-                    self.senders[self.pid.0 as usize].clone(),
-                    Wire::Timer(rec.guess),
-                );
+                self.schedule_fork_timer(rec.guess);
             }
             Effect::JoinLeft { actual } => self.handle_join(tid, actual),
             Effect::Done => {
@@ -568,10 +766,27 @@ impl Actor {
             kind: env.kind.into(),
             payload,
         });
-        self.delayer.send_after(
-            self.cfg.latency,
-            self.senders[to.0 as usize].clone(),
-            Wire::Data(env),
+        self.transport.send(to, Payload::Data(env));
+    }
+
+    /// Fork timers and transport ticks are self-addressed through the
+    /// delayer and tagged [`FlushClass::DropOnFlush`]: a teardown flush
+    /// must not fire a far-future fork timeout early (spurious aborts).
+    fn schedule_fork_timer(&self, guess: GuessId) {
+        self.delayer.send_after_class(
+            self.cfg.fork_timeout,
+            self.self_sender.clone(),
+            Wire::Timer(guess),
+            FlushClass::DropOnFlush,
+        );
+    }
+
+    fn schedule_tick(&self) {
+        self.delayer.send_after_class(
+            self.transport.tick_interval(),
+            self.self_sender.clone(),
+            Wire::Tick,
+            FlushClass::DropOnFlush,
         );
     }
 
@@ -600,17 +815,14 @@ impl Actor {
             }
             t.into_iter().map(|p| p.0 as usize).collect()
         } else {
-            (0..self.senders.len())
+            (0..self.transport.n_processes())
                 .filter(|i| *i != self.pid.0 as usize)
                 .collect()
         };
         for i in targets {
             self.stats.control_messages += 1;
-            self.delayer.send_after(
-                self.cfg.latency,
-                self.senders[i].clone(),
-                Wire::Ctrl(ctrl.clone()),
-            );
+            self.transport
+                .send(ProcessId(i as u32), Payload::Ctrl(ctrl.clone()));
         }
     }
 
@@ -631,11 +843,8 @@ impl Actor {
             .collect();
         for i in targets {
             self.stats.control_messages += 1;
-            self.delayer.send_after(
-                self.cfg.latency,
-                self.senders[i].clone(),
-                Wire::Ctrl(ctrl.clone()),
-            );
+            self.transport
+                .send(ProcessId(i as u32), Payload::Ctrl(ctrl.clone()));
         }
     }
 
@@ -749,6 +958,11 @@ impl Actor {
         if let DataKind::Call(cid) = env.kind {
             th.call_stack.push((env.from, cid, env.label.clone()));
         }
+        // The resume is queued: the thread is no longer waiting, so a
+        // second message released in the same transport batch must not be
+        // delivered to it before `pump` runs. (The checkpoint above keeps
+        // the *blocked* status, so rollback re-opens the receive.)
+        th.status = Status::Ready;
         self.ready.push_back((tid, Resume::Msg(env)));
     }
 

@@ -1,0 +1,280 @@
+//! Chaos differential tests: the threaded runtime under an unreliable
+//! network (drops, duplicates, reordering, partitions) must commit
+//! exactly the observable logs of the fault-free run — the reliable
+//! sublayer absorbs the chaos before the protocol core sees it.
+//!
+//! Also pins the ISSUE-4 shutdown/liveness bugfixes: actor-panic
+//! propagation (not a fake timeout), drain-to-quiescence shutdown (no
+//! truncated commit waves), and straggler reporting (no harness
+//! deadlock). The spurious-timer-flush fix is pinned at the unit level in
+//! `net.rs` (`shutdown_flush_drops_timer_class_items`).
+
+use opcsp_core::ProcessId;
+use opcsp_rt::{NetFaults, Partition, RtConfig, RtResult, RtWorld};
+use opcsp_sim::{Behavior, BehaviorState, Effect, Observable, Resume};
+use opcsp_workloads::chain::OptimisticForwarder;
+use opcsp_workloads::servers::Server;
+use opcsp_workloads::streaming::PutLineClient;
+use std::time::Duration;
+
+fn cfg(latency_ms: u64, faults: NetFaults) -> RtConfig {
+    RtConfig {
+        optimism: true,
+        latency: Duration::from_millis(latency_ms),
+        fork_timeout: Duration::from_secs(5),
+        run_timeout: Duration::from_secs(20),
+        faults,
+        ..RtConfig::default()
+    }
+}
+
+fn chaos(seed: u64) -> NetFaults {
+    NetFaults {
+        seed,
+        drop: 0.2,
+        dup: 0.1,
+        reorder: 3,
+        partitions: vec![],
+    }
+}
+
+/// Workload 1: call streaming — client puts `n` lines to a server.
+fn run_streaming(faults: NetFaults) -> RtResult {
+    let mut w = RtWorld::new(cfg(2, faults));
+    w.add_process(PutLineClient::new(8), true);
+    w.add_process(Server::new("S", 0), false);
+    w.run()
+}
+
+/// Workload 2: a pipeline of optimistic forwarders — commits keep flowing
+/// downstream after the client is already done.
+fn run_chain(faults: NetFaults) -> RtResult {
+    let depth = 2u32;
+    let mut w = RtWorld::new(cfg(2, faults));
+    w.add_process(PutLineClient::to(4, ProcessId(1)), true);
+    for hop in 1..=depth {
+        w.add_process(
+            OptimisticForwarder {
+                name: format!("Hop{hop}"),
+                downstream: ProcessId(hop + 1),
+                compute: 0,
+            },
+            false,
+        );
+    }
+    w.add_process(Server::new("Terminal", 0), false);
+    w.run()
+}
+
+/// Committed observable logs must be identical per process — the
+/// `check_theorem1`-style positional comparison, applied to `RtResult`.
+fn assert_logs_equivalent(baseline: &RtResult, chaotic: &RtResult, label: &str) {
+    assert_eq!(
+        baseline.logs.keys().collect::<Vec<_>>(),
+        chaotic.logs.keys().collect::<Vec<_>>(),
+        "{label}: process sets differ"
+    );
+    for (p, base_log) in &baseline.logs {
+        assert_eq!(
+            base_log, &chaotic.logs[p],
+            "{label}: committed log of {p} diverged under chaos"
+        );
+    }
+    assert_eq!(
+        baseline.external, chaotic.external,
+        "{label}: released external outputs diverged under chaos"
+    );
+}
+
+fn assert_clean(r: &RtResult, label: &str) {
+    assert!(!r.timed_out, "{label}: timed out ({:?})", r.stats);
+    assert!(r.panicked.is_empty(), "{label}: panics {:?}", r.panics);
+    assert!(r.stragglers.is_empty(), "{label}: stragglers {:?}", r.stragglers);
+}
+
+#[test]
+fn chaos_differential_streaming() {
+    let baseline = run_streaming(NetFaults::none());
+    assert_clean(&baseline, "baseline");
+    assert_eq!(baseline.stats.drops_injected, 0);
+    for seed in [1u64, 7, 42] {
+        let chaotic = run_streaming(chaos(seed));
+        let label = format!("streaming seed={seed}");
+        assert_clean(&chaotic, &label);
+        assert_logs_equivalent(&baseline, &chaotic, &label);
+        // The chaos layer provably fired and the sublayer absorbed it.
+        assert!(chaotic.stats.drops_injected > 0, "{label}: {:?}", chaotic.stats);
+        assert!(chaotic.stats.dups_injected > 0, "{label}: {:?}", chaotic.stats);
+        assert!(chaotic.stats.retransmits > 0, "{label}: {:?}", chaotic.stats);
+        // No protocol-level orphan leaks: dedup killed every duplicate
+        // before the protocol core could see it.
+        assert_eq!(
+            chaotic.stats.orphans, baseline.stats.orphans,
+            "{label}: orphan counts diverged"
+        );
+    }
+}
+
+#[test]
+fn chaos_differential_chain() {
+    let baseline = run_chain(NetFaults::none());
+    assert_clean(&baseline, "baseline");
+    assert_eq!(baseline.stats.aborts, 0, "{:?}", baseline.stats);
+    for seed in [1u64, 7, 42] {
+        let chaotic = run_chain(chaos(seed));
+        let label = format!("chain seed={seed}");
+        assert_clean(&chaotic, &label);
+        assert_logs_equivalent(&baseline, &chaotic, &label);
+        assert!(chaotic.stats.drops_injected > 0, "{label}: {:?}", chaotic.stats);
+        assert!(chaotic.stats.dups_injected > 0, "{label}: {:?}", chaotic.stats);
+        assert!(chaotic.stats.retransmits > 0, "{label}: {:?}", chaotic.stats);
+        assert_eq!(
+            chaotic.stats.orphans, baseline.stats.orphans,
+            "{label}: orphan counts diverged"
+        );
+    }
+}
+
+/// A one-shot partition window severs the client→server link mid-run;
+/// backoff + retransmission recover once it heals, and the committed
+/// logs still match the fault-free run.
+#[test]
+fn partition_window_heals_and_run_completes() {
+    let baseline = run_streaming(NetFaults::none());
+    let faults = NetFaults {
+        seed: 3,
+        drop: 0.0,
+        dup: 0.0,
+        reorder: 0,
+        partitions: vec![Partition {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            start_ms: 0,
+            duration_ms: 80,
+        }],
+    };
+    let r = run_streaming(faults);
+    assert_clean(&r, "partition");
+    assert!(r.stats.drops_injected > 0, "{:?}", r.stats);
+    assert!(r.stats.retransmits > 0, "{:?}", r.stats);
+    assert_logs_equivalent(&baseline, &r, "partition");
+}
+
+// ---------------------------------------------------------------------------
+// Regression pins for the ISSUE-4 rt shutdown/liveness bugfixes
+// ---------------------------------------------------------------------------
+
+/// A behavior that panics on its first step.
+struct Boom;
+impl Behavior for Boom {
+    fn init(&self) -> BehaviorState {
+        BehaviorState::new(())
+    }
+    fn step(&self, _state: &mut BehaviorState, _resume: Resume) -> Effect {
+        panic!("boom: injected actor panic");
+    }
+}
+
+/// Pre-fix, `RecvTimeoutError::Disconnected` (every actor dead) was
+/// collapsed into `timed_out = true` and the panic vanished. Now the
+/// panic is surfaced with its payload and the run is NOT a timeout.
+#[test]
+fn actor_panic_is_reported_not_a_timeout() {
+    let mut w = RtWorld::new(cfg(1, NetFaults::none()));
+    let p = w.add_process(Boom, true);
+    let r = w.run();
+    assert!(
+        !r.timed_out,
+        "an actor panic must not masquerade as a timeout"
+    );
+    assert_eq!(r.panicked, vec![p]);
+    assert!(
+        r.panics[&p].contains("boom"),
+        "panic payload must propagate from join(): {:?}",
+        r.panics
+    );
+}
+
+/// Panic in a *server* while the client is stuck waiting on it: the run
+/// times out (the client can never finish), but the panic is still
+/// attributed to the right actor with its payload.
+#[test]
+fn server_panic_is_attributed_even_on_timeout() {
+    let mut w = RtWorld::new(RtConfig {
+        run_timeout: Duration::from_millis(400),
+        ..cfg(1, NetFaults::none())
+    });
+    let c = w.add_process(PutLineClient::new(2), true);
+    let s = w.add_process(Boom, false);
+    let r = w.run();
+    assert!(r.timed_out, "client can never finish");
+    assert_eq!(r.panicked, vec![s]);
+    assert!(!r.panicked.contains(&c));
+}
+
+/// Pre-fix, shutdown was sent directly to actor inboxes after a fixed
+/// `grace` sleep (racing in-flight commit waves still queued in the
+/// delayer; `grace = 0` reliably truncated downstream logs). Now the
+/// coordinator drains the network to quiescence, so the pipeline's
+/// post-client-completion traffic always lands.
+#[test]
+fn shutdown_drains_inflight_commit_waves() {
+    for _ in 0..5 {
+        let r = run_chain(NetFaults::none());
+        assert_clean(&r, "chain drain");
+        let terminal = ProcessId(3);
+        let received = r.logs[&terminal]
+            .iter()
+            .filter(|o| matches!(o, Observable::Received { .. }))
+            .count();
+        assert_eq!(
+            received, 4,
+            "all items must reach the terminal before shutdown: {:?}",
+            r.logs[&terminal]
+        );
+        assert_eq!(r.stats.aborts, 0, "{:?}", r.stats);
+        // Every fork's commit wave landed: no guess left unresolved
+        // anywhere, so commits == forks.
+        assert_eq!(r.stats.commits, r.stats.forks, "{:?}", r.stats);
+    }
+}
+
+/// A behavior that wedges its actor thread forever.
+struct Stuck;
+impl Behavior for Stuck {
+    fn init(&self) -> BehaviorState {
+        BehaviorState::new(())
+    }
+    fn step(&self, _state: &mut BehaviorState, _resume: Resume) -> Effect {
+        std::thread::sleep(Duration::from_secs(600));
+        Effect::Done
+    }
+}
+
+/// Pre-fix, the final-report loop broke into an unconditional `join()`
+/// that hung forever on a wedged actor. Now the join has a deadline
+/// derived from `run_timeout`: the wedged actor is reported as a
+/// straggler, the healthy actors' results still arrive, and the harness
+/// returns.
+#[test]
+fn stuck_actor_is_reported_as_straggler_not_deadlock() {
+    let t0 = std::time::Instant::now();
+    let mut w = RtWorld::new(RtConfig {
+        run_timeout: Duration::from_millis(600),
+        ..cfg(1, NetFaults::none())
+    });
+    let c = w.add_process(PutLineClient::new(2), true);
+    let _s = w.add_process(Server::new("S", 0), false);
+    let stuck = w.add_process(Stuck, false);
+    let r = w.run();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "harness must not hang on a wedged actor"
+    );
+    assert_eq!(r.stragglers, vec![stuck]);
+    assert!(
+        r.logs.contains_key(&c),
+        "healthy actors' final reports still collected"
+    );
+    assert!(r.panicked.is_empty());
+}

@@ -17,7 +17,6 @@ fn rt_cfg(optimism: bool, latency_ms: u64) -> RtConfig {
         latency: Duration::from_millis(latency_ms),
         fork_timeout: Duration::from_secs(2),
         run_timeout: Duration::from_secs(20),
-        grace: Duration::from_millis(8 * latency_ms.max(1)),
         ..RtConfig::default()
     }
 }
@@ -137,7 +136,6 @@ fn targeted_control_on_real_threads() {
         latency: Duration::from_millis(2),
         fork_timeout: Duration::from_secs(2),
         run_timeout: Duration::from_secs(20),
-        grace: Duration::from_millis(20),
         ..RtConfig::default()
     };
     let mut w = RtWorld::new(cfg);

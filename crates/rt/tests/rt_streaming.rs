@@ -17,7 +17,6 @@ fn run_rt(n: u32, optimism: bool, latency_ms: u64, fail_at: Option<u32>) -> opcs
         latency: Duration::from_millis(latency_ms),
         fork_timeout: Duration::from_secs(2),
         run_timeout: Duration::from_secs(20),
-        grace: Duration::from_millis(5 * latency_ms.max(1)),
         ..RtConfig::default()
     };
     let mut w = RtWorld::new(cfg);
@@ -116,7 +115,6 @@ fn rt_fork_after_send_streams_too() {
         latency: Duration::from_millis(3),
         fork_timeout: Duration::from_secs(2),
         run_timeout: Duration::from_secs(20),
-        grace: Duration::from_millis(30),
         ..RtConfig::default()
     };
     let mut w = RtWorld::new(cfg);

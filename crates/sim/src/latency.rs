@@ -167,8 +167,11 @@ impl PerLinkBuilder {
     }
 }
 
-/// SplitMix64 finalizer — a cheap, well-mixed stateless hash.
-fn splitmix(mut x: u64) -> u64 {
+/// SplitMix64 finalizer — a cheap, well-mixed stateless hash. Public
+/// because the runtime's chaos layer (`opcsp_rt::net::NetFaults`) keys
+/// its deterministic fault draws exactly the way [`jitter_draw`] keys
+/// latency draws.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -182,8 +185,8 @@ pub fn jitter_draw(seed: u64, base: u64, spread: u64, key: DrawKey) -> u64 {
         return base;
     }
     let (from, to, k) = key;
-    let h = splitmix(
-        splitmix(seed ^ ((from.0 as u64) << 32 | to.0 as u64)) ^ (k as u64).wrapping_mul(0xA5A5),
+    let h = splitmix64(
+        splitmix64(seed ^ ((from.0 as u64) << 32 | to.0 as u64)) ^ (k as u64).wrapping_mul(0xA5A5),
     );
     base + h % (spread + 1)
 }

@@ -28,5 +28,5 @@ pub use forensics::{
     first_divergence, happens_before_chain, render_report, shrink_schedule, DivergenceReport,
     FirstDivergence, HbStep, ShrunkSchedule,
 };
-pub use latency::{DrawKey, LatencyModel, LatencySampler};
+pub use latency::{splitmix64, DrawKey, LatencyModel, LatencySampler};
 pub use trace::{SimStats, Trace, TraceEvent, VTime};

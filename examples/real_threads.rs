@@ -17,7 +17,6 @@ fn run(n: u32, optimism: bool, latency: Duration) -> opcsp_rt::RtResult {
         latency,
         fork_timeout: Duration::from_secs(2),
         run_timeout: Duration::from_secs(30),
-        grace: 5 * latency,
         ..RtConfig::default()
     };
     let mut w = RtWorld::new(cfg);
