@@ -5,7 +5,7 @@
 //!   figures fig3 e1 t1  — selected items
 //!
 //! Items: fig1..fig7, e1, e2, e3, e4, e5, e6, e8, e9, e10, chain, t1,
-//! interner.
+//! interner, lifecycle.
 
 use opcsp_bench::experiments as ex;
 
@@ -45,6 +45,7 @@ fn main() {
         ("chain", ex::chain_depth),
         ("t1", ex::t1_equivalence),
         ("interner", ex::interner_stats),
+        ("lifecycle", ex::lifecycle_stats),
     ];
     for (name, f) in tables {
         if want(name) {

@@ -66,7 +66,7 @@ fn figure_run(title: &str, r: &SimResult, procs: &[ProcessId]) -> String {
         r.stats().value_faults,
         r.stats().time_faults,
         r.stats().rollbacks,
-        r.stats().orphans_discarded,
+        r.stats().orphans,
     ));
     out
 }
@@ -355,7 +355,7 @@ pub fn e5_delivery_ablation() -> Table {
             r.stats().aborts.to_string(),
             r.stats().time_faults.to_string(),
             r.stats().rollbacks.to_string(),
-            r.stats().orphans_discarded.to_string(),
+            r.stats().orphans.to_string(),
         ]);
     }
     t.note("§4.2.3: 'the one for which |Newguards| is smallest should be chosen. This minimizes the chance that receiving the message will lead to an aborted computation.' The FIFO row pays a time fault, two rollbacks and the re-execution round trips.");
@@ -805,6 +805,107 @@ pub fn interner_stats() -> Table {
     t
 }
 
+/// Guess-lifecycle telemetry (`core::telemetry`): fork→resolution
+/// latency and rollback-depth histograms per workload, on both engines.
+/// The histogram time *unit* is engine-specific — simulator rows are in
+/// virtual-time ticks, runtime rows in microseconds — so compare shapes
+/// and counts across rows, not raw latency magnitudes.
+pub fn lifecycle_stats() -> Table {
+    let mut t = Table::new(
+        "Guess lifecycle — commit/abort verdicts, retries, wasted steps, \
+         fork→resolve latency and rollback depth per engine",
+        &[
+            "engine / workload",
+            "guesses",
+            "committed",
+            "aborted",
+            "retries",
+            "wasted steps",
+            "fork→resolve latency",
+            "rollback depth",
+        ],
+    );
+    let mut row = |label: &str, rep: opcsp_core::LifecycleReport| {
+        t.row(vec![
+            label.to_string(),
+            rep.guesses.len().to_string(),
+            rep.committed_count().to_string(),
+            rep.aborted_count().to_string(),
+            rep.total_retries().to_string(),
+            rep.wasted_steps.to_string(),
+            rep.latency.render(),
+            rep.rollback_depth.render(),
+        ]);
+    };
+    let clean = run_streaming(StreamingOpts {
+        n: 16,
+        latency: 50,
+        ..Default::default()
+    });
+    row("sim streaming n=16 clean", clean.telemetry.lifecycle());
+    let faulty = run_streaming(StreamingOpts {
+        n: 16,
+        latency: 50,
+        fail_lines: BTreeSet::from([5]),
+        ..Default::default()
+    });
+    row("sim streaming n=16 fault@5", faulty.telemetry.lifecycle());
+    let tally = run_tally(TallyOpts {
+        n: 12,
+        latency: 30,
+        p_per_mille: 300,
+        seed: 7,
+        optimism: true,
+        core: CoreConfig::default(),
+    });
+    row("sim tally n=12 p=0.3", tally.telemetry.lifecycle());
+    let fan = run_fan_in(FanInOpts {
+        producers: 4,
+        n: 16,
+        jitter: 40,
+        ..Default::default()
+    });
+    row("sim fan_in p=4 n=16 j=40", fan.telemetry.lifecycle());
+    let chain = run_chain(ChainOpts {
+        depth: 4,
+        n: 8,
+        latency: 40,
+        ..Default::default()
+    });
+    row("sim chain d=4 n=8", chain.telemetry.lifecycle());
+    let rt = {
+        use opcsp_workloads::servers::Server;
+        use opcsp_workloads::streaming::PutLineClient;
+        use std::time::Duration;
+        let mut w = opcsp_rt::RtWorld::new(opcsp_rt::RtConfig {
+            latency: Duration::from_millis(1),
+            telemetry: true,
+            ..opcsp_rt::RtConfig::default()
+        });
+        w.add_process(PutLineClient::new(16), true);
+        w.add_process(
+            Server::new("WindowManager", 0).with_reply(|_| opcsp_core::Value::Bool(true)),
+            false,
+        );
+        w.run()
+    };
+    assert!(!rt.timed_out, "rt lifecycle probe timed out");
+    row("rt streaming n=16 clean (µs)", rt.telemetry.lifecycle());
+    t.note(
+        "Latency is fork→resolution per guess; the unit is virtual ticks for sim rows and \
+         microseconds for rt rows. Retries = aborted guesses per fork site (each forces one \
+         optimistic re-execution, §3.3). Wasted steps = behavior steps discarded by rollbacks \
+         and thread discards, attributed to the aborted guess that triggered them. Rollback \
+         depth = checkpoint intervals popped per restore.",
+    );
+    t.note(
+        "The clean sim and rt streaming rows must agree on every verdict column (guesses, \
+         committed, aborted, retries, wasted steps) — tests/telemetry_differential.rs pins \
+         this engine equivalence.",
+    );
+    t
+}
+
 /// Every experiment table, in DESIGN.md index order.
 pub fn all_tables() -> Vec<Table> {
     vec![
@@ -820,6 +921,7 @@ pub fn all_tables() -> Vec<Table> {
         chain_depth(),
         t1_equivalence(),
         interner_stats(),
+        lifecycle_stats(),
     ]
 }
 

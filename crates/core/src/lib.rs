@@ -35,6 +35,7 @@ pub mod ids;
 pub mod message;
 pub mod process;
 pub mod resolve;
+pub mod telemetry;
 pub mod value;
 pub mod wire;
 
@@ -50,5 +51,8 @@ pub use process::{
     OwnGuess, OwnGuessState, ProcessCore, ResolutionCause, ThreadMeta, ThreadPhase,
 };
 pub use resolve::{AbortEffects, CommitEffects, JoinDecision};
+pub use telemetry::{
+    GuessLifecycle, Histogram, LifecycleReport, ProtoStats, Telemetry, TelemetryEvent, Tick,
+};
 pub use wire::{GuardCodec, SendTag, TableRow, WireGuard, WireState, WireStats};
 pub use value::Value;

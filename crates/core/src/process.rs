@@ -489,10 +489,25 @@ impl ProcessCore {
         if !self.config.early_return_check || !matches!(env.kind, DataKind::Return(_)) {
             return None;
         }
-        env.guard()
-            .iter()
-            .filter(|g| g.process == self.id && g.incarnation == self.incarnation)
-            .find(|g| g.index > thread)
+        self.guard_depends_on_future(thread, env.guard())
+    }
+
+    /// Does `guard` name one of this process's own *live* guesses with fork
+    /// index greater than `thread`? Such a message depends on this
+    /// process's own future and must be withheld from delivery to `thread`
+    /// (§4.2.3). Liveness — not incarnation equality — is the test: a
+    /// stale-incarnation guess that survived in the pool across an
+    /// incarnation bump is still a future dependency while the history has
+    /// it pending, and only stops being one once it is recorded aborted
+    /// (the orphan rule then drops the message) or committed (delivery is
+    /// then harmless).
+    pub fn guard_depends_on_future(&self, thread: ForkIndex, guard: &Guard) -> Option<GuessId> {
+        guard.iter().find(|g| {
+            g.process == self.id
+                && g.index > thread
+                && !self.history.is_aborted(*g)
+                && !self.history.is_committed(*g)
+        })
     }
 
     /// Deliver a message to a thread (§4.2.3 tail): acquire new guards,
@@ -731,6 +746,78 @@ mod tests {
         // Optimization off.
         core.config.early_return_check = false;
         assert_eq!(core.return_depends_on_future(0, &ret), None);
+    }
+
+    #[test]
+    fn double_classification_of_pooled_envelope_is_idempotent() {
+        // Regression (rt arrival-path audit): the runtime classifies every
+        // envelope on arrival AND again before delivering it from the pool.
+        // The second pass must be a pure re-check: piggybacked acks were
+        // drained and incarnation rows merged on first contact, the compact
+        // tag was decoded in place, and the verdict is stable.
+        let cfg = CoreConfig {
+            codec: crate::wire::GuardCodec::Compact,
+            ..CoreConfig::default()
+        };
+        let mut sender = ProcessCore::new(ProcessId(0), cfg.clone());
+        let mut receiver = ProcessCore::new(ProcessId(1), cfg);
+        sender.fork(0, 1); // x1, stays pending
+        sender.fork(1, 2); // x2
+        sender.on_abort(g(0, 2)); // incarnation row to ship
+        let tag = sender.encode_for_send(1, ProcessId(1));
+        let mut env = Envelope {
+            id: MsgId(7),
+            from: ProcessId(0),
+            from_thread: 1,
+            to: ProcessId(1),
+            guard: tag.wire,
+            table_acks: tag.acks,
+            kind: DataKind::Send,
+            payload: Value::Unit,
+            label: "M".into(),
+            link_seq: 0,
+        };
+        let first = receiver.classify_arrival(&mut env);
+        assert_eq!(first, ArrivalVerdict::Ok);
+        assert!(!env.guard.is_compact(), "tag decoded in place on arrival");
+        assert!(env.table_acks.is_empty(), "acks drained on arrival");
+        let wire_after_first = receiver.wire_stats();
+        let history_after_first = format!("{:?}", receiver.history);
+        let second = receiver.classify_arrival(&mut env);
+        assert_eq!(second, first);
+        assert_eq!(
+            receiver.wire_stats(),
+            wire_after_first,
+            "re-classification must not re-merge rows or re-absorb acks"
+        );
+        assert_eq!(format!("{:?}", receiver.history), history_after_first);
+    }
+
+    #[test]
+    fn stale_incarnation_guess_still_withheld_from_earlier_thread() {
+        // Regression (rt pick_delivery audit): the withhold filter used to
+        // test `g.incarnation == self.incarnation`, so a pooled message
+        // guarded by a *live* guess of a previous incarnation slipped past
+        // it after an unrelated abort bumped the incarnation.
+        let mut core = ProcessCore::new(ProcessId(0), CoreConfig::default());
+        core.fork(0, 1); // x1 → thread 1, stays pending
+        core.fork(1, 2); // x2 → thread 2
+        core.on_abort(g(0, 2)); // bump: incarnation 1 starts at index 2
+        assert_eq!(core.incarnation, Incarnation(1));
+        assert!(!core.history.is_aborted(g(0, 1)));
+        // x1 is now stale-incarnation but live: a message carrying it still
+        // depends on this process's future and must be withheld from
+        // thread 0...
+        let guard = Guard::single(g(0, 1));
+        assert_eq!(core.guard_depends_on_future(0, &guard), Some(g(0, 1)));
+        // ...while x1's own right thread may receive it.
+        assert_eq!(core.guard_depends_on_future(1, &guard), None);
+        // The *aborted* stale guess no longer withholds anything — the
+        // §4.2.3 orphan rule drops such messages at classification instead.
+        assert_eq!(
+            core.guard_depends_on_future(0, &Guard::single(g(0, 2))),
+            None
+        );
     }
 
     #[test]

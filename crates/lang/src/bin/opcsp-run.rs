@@ -29,6 +29,11 @@
 //!   --chaos <spec>       (with --rt) inject network faults under the
 //!                        reliable-delivery sublayer, e.g.
 //!                        drop=0.2,dup=0.1,reorder=3,seed=7,part=0-1@0+80
+//!   --trace-out <path>   write a Chrome/Perfetto-loadable JSON trace of
+//!                        the guess lifecycle (forks, resolutions,
+//!                        rollbacks, commit waves, orphans); works with
+//!                        both the simulator and --rt. With --compare the
+//!                        optimistic run is traced.
 //! ```
 //!
 //! `--compare` checks Theorem 1 with the replay oracle: the strict
@@ -72,6 +77,7 @@ struct Options {
     inject_phantom: bool,
     rt: bool,
     chaos: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -91,6 +97,7 @@ fn parse_args() -> Result<Options, String> {
         inject_phantom: false,
         rt: false,
         chaos: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -111,6 +118,9 @@ fn parse_args() -> Result<Options, String> {
             "--rt" => opts.rt = true,
             "--chaos" => {
                 opts.chaos = Some(args.next().ok_or("--chaos needs a spec")?);
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
             }
             "--latency" => opts.latency = num("--latency")?,
             "--jitter" => opts.jitter = num("--jitter")?,
@@ -133,7 +143,7 @@ fn usage() {
         "usage: opcsp-run <file.csp> [--pessimistic] [--compare] [--latency d] \
          [--jitter s] [--seed n] [--timeline] [--show-transform] [--timeout t] \
          [--retry-limit L] [--forensics] [--inject-lifo] [--inject-phantom] \
-         [--rt] [--chaos spec]"
+         [--rt] [--chaos spec] [--trace-out path]"
     );
 }
 
@@ -150,7 +160,7 @@ fn summarize(label: &str, r: &SimResult) {
         s.time_faults,
         s.timeouts,
         s.rollbacks,
-        s.orphans_discarded,
+        s.orphans,
         s.data_messages,
         s.control_messages,
     );
@@ -207,6 +217,15 @@ fn summarize_rt(label: &str, names: &BTreeMap<ProcessId, String>, r: &opcsp_rt::
     for p in &r.stragglers {
         let name = names.get(p).cloned().unwrap_or_else(|| p.to_string());
         println!("WARNING: {name} was still running at the join deadline (straggler)");
+    }
+}
+
+/// Write a Perfetto/Chrome trace to `path`, reporting but not failing on
+/// I/O errors — the run itself already succeeded.
+fn write_trace(path: &str, json: &str) {
+    match std::fs::write(path, json) {
+        Ok(()) => println!("trace written to {path}"),
+        Err(e) => eprintln!("error: cannot write trace to {path}: {e}"),
     }
 }
 
@@ -293,6 +312,7 @@ fn run_rt(sys: &System, opts: &Options) -> ExitCode {
         fork_timeout: Duration::from_millis(opts.timeout).min(Duration::from_secs(10)),
         run_timeout: Duration::from_secs(30),
         faults,
+        telemetry: opts.trace_out.is_some(),
         ..opcsp_rt::RtConfig::default()
     };
     let names: BTreeMap<ProcessId, String> =
@@ -300,6 +320,9 @@ fn run_rt(sys: &System, opts: &Options) -> ExitCode {
 
     let chaotic = sys.rt_world(cfg(faults.clone())).run();
     let failed = chaotic.timed_out || !chaotic.panicked.is_empty();
+    if let Some(path) = &opts.trace_out {
+        write_trace(path, &chaotic.telemetry.to_perfetto_json(&names));
+    }
     if opts.compare {
         let baseline = sys.rt_world(cfg(opcsp_rt::NetFaults::none())).run();
         summarize_rt("fault-free", &names, &baseline);
@@ -454,6 +477,8 @@ fn main() -> ExitCode {
     let procs: Vec<ProcessId> = (0..sys.transformed.program.procs.len() as u32)
         .map(ProcessId)
         .collect();
+    let names: BTreeMap<ProcessId, String> =
+        sys.bindings.iter().map(|(n, p)| (*p, n.clone())).collect();
 
     if opts.compare {
         let pess = sys.run(cfg(false));
@@ -463,6 +488,9 @@ fn main() -> ExitCode {
         }
         summarize("pessimistic", &pess);
         summarize("optimistic ", &opt);
+        if let Some(path) = &opts.trace_out {
+            write_trace(path, &opt.telemetry.to_perfetto_json(&names));
+        }
         println!(
             "speedup: {:.2}x",
             pess.completion as f64 / opt.completion.max(1) as f64
@@ -491,11 +519,6 @@ fn main() -> ExitCode {
                 replay_result,
                 ..
             } => {
-                let names: BTreeMap<ProcessId, String> = sys
-                    .bindings
-                    .iter()
-                    .map(|(n, p)| (*p, n.clone()))
-                    .collect();
                 eprintln!(
                     "Theorem 1 DIVERGENCE (engine bug!): no sequential execution \
                      reproduces the optimistic committed logs"
@@ -541,6 +564,9 @@ fn main() -> ExitCode {
         let r = sys.run(cfg(!opts.pessimistic));
         if opts.timeline {
             println!("{}", r.trace.render_timeline(&procs));
+        }
+        if let Some(path) = &opts.trace_out {
+            write_trace(path, &r.telemetry.to_perfetto_json(&names));
         }
         summarize(
             if opts.pessimistic {

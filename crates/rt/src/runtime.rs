@@ -27,7 +27,7 @@ use crate::net::{Delayer, FlushClass, NetFaults, Payload, Transport, Wire};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use opcsp_core::{
     ArrivalVerdict, CallId, Control, CoreConfig, DataKind, Envelope, GuessId, JoinDecision, MsgId,
-    ProcessCore, ProcessId, Value,
+    ProcessCore, ProcessId, ProtoStats, Telemetry, TelemetryEvent, Value,
 };
 use opcsp_sim::{Behavior, BehaviorState, Effect, ObsKind, Observable, Resume};
 use std::collections::{BTreeMap, VecDeque};
@@ -52,6 +52,11 @@ pub struct RtConfig {
     /// Network fault injection (the chaos layer). Fault-free by default;
     /// the reliable-delivery sublayer runs either way.
     pub faults: NetFaults,
+    /// Record the unified lifecycle event stream (`core::telemetry`).
+    /// Off by default: with the sink disabled every record call is a
+    /// no-op, keeping the hot path within the telemetry-overhead bench
+    /// gate. Timestamps are microseconds since run start.
+    pub telemetry: bool,
 }
 
 impl Default for RtConfig {
@@ -64,6 +69,7 @@ impl Default for RtConfig {
             compute_unit: Duration::ZERO,
             run_timeout: Duration::from_secs(30),
             faults: NetFaults::none(),
+            telemetry: false,
         }
     }
 }
@@ -71,22 +77,11 @@ impl Default for RtConfig {
 /// Aggregated statistics across all actors.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RtStats {
-    pub forks: u64,
-    pub commits: u64,
-    pub aborts: u64,
-    pub rollbacks: u64,
-    pub discarded_threads: u64,
-    pub orphans: u64,
-    pub data_messages: u64,
-    pub control_messages: u64,
-    /// Guard-tag bytes as encoded on the wire (codec-dependent).
-    pub guard_bytes: u64,
-    /// Incarnation-table bytes piggybacked on data messages (rows + acks).
-    pub table_bytes: u64,
-    /// Wire-codec counters aggregated across actors.
-    pub wire: opcsp_core::WireStats,
-    /// Guard-interner counters aggregated across actors.
-    pub interner: opcsp_core::InternerStats,
+    /// Protocol counters shared with the simulator (`core::telemetry`):
+    /// forks, commits, aborts, rollbacks, discards, orphans, message and
+    /// wire-byte counts. Accessed transparently via `Deref` —
+    /// `stats.forks` reads `stats.proto.forks`.
+    pub proto: ProtoStats,
     /// Transmissions the chaos layer dropped (incl. partition windows).
     pub drops_injected: u64,
     /// Transmissions the chaos layer duplicated.
@@ -100,20 +95,22 @@ pub struct RtStats {
     pub reorder_releases: u64,
 }
 
+impl std::ops::Deref for RtStats {
+    type Target = ProtoStats;
+    fn deref(&self) -> &ProtoStats {
+        &self.proto
+    }
+}
+
+impl std::ops::DerefMut for RtStats {
+    fn deref_mut(&mut self) -> &mut ProtoStats {
+        &mut self.proto
+    }
+}
+
 impl RtStats {
     fn merge(&mut self, o: &RtStats) {
-        self.forks += o.forks;
-        self.commits += o.commits;
-        self.aborts += o.aborts;
-        self.rollbacks += o.rollbacks;
-        self.discarded_threads += o.discarded_threads;
-        self.orphans += o.orphans;
-        self.data_messages += o.data_messages;
-        self.control_messages += o.control_messages;
-        self.guard_bytes += o.guard_bytes;
-        self.table_bytes += o.table_bytes;
-        self.wire.merge(o.wire);
-        self.interner.merge(o.interner);
+        self.proto.merge(&o.proto);
         self.drops_injected += o.drops_injected;
         self.dups_injected += o.dups_injected;
         self.retransmits += o.retransmits;
@@ -149,6 +146,10 @@ pub struct RtResult {
     /// Actors still running when the join deadline expired; their threads
     /// are detached and their logs/stats are missing from this result.
     pub stragglers: Vec<ProcessId>,
+    /// Unified lifecycle event stream (`core::telemetry`), merged across
+    /// actors in timestamp order (µs since run start). Empty unless
+    /// [`RtConfig::telemetry`] was set.
+    pub telemetry: Telemetry,
 }
 
 enum Report {
@@ -170,6 +171,7 @@ struct FinalReport {
     stats: RtStats,
     log: Vec<Observable>,
     external: Vec<Value>,
+    events: Vec<TelemetryEvent>,
 }
 
 /// Builder/handle for a runtime world.
@@ -245,6 +247,8 @@ impl RtWorld {
                 done_reported: false,
                 is_client: self.clients.contains(&pid),
                 relayed: std::collections::BTreeSet::new(),
+                tele: Telemetry::new(self.cfg.telemetry),
+                start,
             };
             let mids = msg_ids.clone();
             let cids = call_ids.clone();
@@ -308,6 +312,7 @@ impl RtWorld {
         let mut stats = RtStats::default();
         let mut logs = BTreeMap::new();
         let mut external = Vec::new();
+        let mut telemetry = Telemetry::new(self.cfg.telemetry);
         let mut finals = 0;
         while finals < n {
             let left = collect_deadline.saturating_duration_since(Instant::now());
@@ -321,6 +326,7 @@ impl RtWorld {
                     for v in f.external {
                         external.push((f.pid, v));
                     }
+                    telemetry.absorb(f.events);
                     finals += 1;
                 }
                 Ok(_) => {}
@@ -359,6 +365,7 @@ impl RtWorld {
             panicked,
             panics,
             stragglers,
+            telemetry,
         }
     }
 }
@@ -457,6 +464,9 @@ struct Checkpoint {
     out_buf_len: usize,
     call_stack: Vec<(ProcessId, CallId, opcsp_core::Label)>,
     fork_guess: Option<GuessId>,
+    /// Behavior steps the thread had executed at this boundary, for
+    /// wasted-work telemetry on rollback.
+    steps_len: u64,
 }
 
 struct RtThread {
@@ -468,6 +478,9 @@ struct RtThread {
     out_buf: Vec<Value>,
     call_stack: Vec<(ProcessId, CallId, opcsp_core::Label)>,
     fork_guess: Option<GuessId>,
+    /// Behavior steps executed by this thread (monotone except for
+    /// rollback truncation).
+    steps: u64,
 }
 
 impl RtThread {
@@ -480,6 +493,7 @@ impl RtThread {
             out_buf_len: 0,
             call_stack: Vec::new(),
             fork_guess: None,
+            steps_len: 0,
         };
         RtThread {
             state,
@@ -490,6 +504,7 @@ impl RtThread {
             out_buf: Vec::new(),
             call_stack: Vec::new(),
             fork_guess: None,
+            steps: 0,
         }
     }
 }
@@ -519,6 +534,11 @@ struct Actor {
     is_client: bool,
     /// Targeted dissemination dedup (kind, guess).
     relayed: std::collections::BTreeSet<(u8, GuessId)>,
+    /// Lifecycle event sink (`core::telemetry`); disabled unless
+    /// [`RtConfig::telemetry`] is set.
+    tele: Telemetry,
+    /// Shared run epoch: telemetry timestamps are µs since this instant.
+    start: Instant,
 }
 
 impl Actor {
@@ -568,12 +588,28 @@ impl Actor {
         self.stats.wire.merge(self.core.wire_stats());
         self.stats.interner.merge(self.core.interner_full_stats());
         self.stats.absorb_net(self.transport.stats);
+        self.sync_tele();
         let _ = self.report.send(Report::Final(Box::new(FinalReport {
             pid: self.pid,
             stats: self.stats.clone(),
             log,
             external: std::mem::take(&mut self.external),
+            events: std::mem::take(&mut self.tele.events),
         })));
+    }
+
+    /// Microseconds since the shared run epoch — the telemetry timebase.
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Emit `Resolved` telemetry for resolutions the core recorded since
+    /// the last sync (cursor-idempotent, no-op when disabled).
+    fn sync_tele(&mut self) {
+        if self.tele.enabled() {
+            let t = self.now_us();
+            self.tele.sync_resolutions(t, self.pid, &self.core.resolutions);
+        }
     }
 
     fn maybe_report_done(&mut self) {
@@ -600,6 +636,7 @@ impl Actor {
                 continue;
             }
             th.status = Status::Ready;
+            th.steps += 1;
             let behavior = self.behavior.clone();
             let effect = behavior.step(&mut th.state, resume);
             self.handle_effect(tid, effect, msg_ids, call_ids);
@@ -677,6 +714,13 @@ impl Actor {
                 if optimistic {
                     let rec = self.core.fork(tid, site);
                     self.stats.forks += 1;
+                    self.tele.record(TelemetryEvent::Fork {
+                        t: self.start.elapsed().as_micros() as u64,
+                        guess: rec.guess,
+                        site,
+                        left: tid,
+                        right: rec.right_thread,
+                    });
                     let left = self.threads.get_mut(&tid).unwrap();
                     left.fork_guess = Some(rec.guess);
                     left.status = Status::BlockedCall(cid);
@@ -701,6 +745,13 @@ impl Actor {
                 }
                 let rec = self.core.fork(tid, site);
                 self.stats.forks += 1;
+                self.tele.record(TelemetryEvent::Fork {
+                    t: self.start.elapsed().as_micros() as u64,
+                    guess: rec.guess,
+                    site,
+                    left: tid,
+                    right: rec.right_thread,
+                });
                 let left = self.threads.get_mut(&tid).unwrap();
                 left.fork_guess = Some(rec.guess);
                 let mut right = RtThread::new(left.state.clone());
@@ -851,9 +902,17 @@ impl Actor {
     // ------------------------------------------------------------------
 
     fn on_data(&mut self, mut env: Envelope) {
+        // First classification ingests the wire tag (acks drained, rows
+        // merged, compact guard decoded in place); the pooled
+        // re-classification in `try_deliver`/`purge_pool` is a pure
+        // re-check (pinned by `double_classification_of_pooled_envelope_
+        // is_idempotent` in opcsp-core). An orphaned envelope is dropped
+        // at the site that counts it, so `stats.orphans` sees each
+        // envelope at most once per pooling.
         match self.core.classify_arrival(&mut env) {
-            ArrivalVerdict::Orphan(_) => {
+            ArrivalVerdict::Orphan(g) => {
                 self.stats.orphans += 1;
+                self.record_orphan(env.id, g);
                 return;
             }
             ArrivalVerdict::Ok => {}
@@ -867,12 +926,24 @@ impl Actor {
             if let Some(w) = waiter {
                 if let Some(doomed) = self.core.return_depends_on_future(w, &env) {
                     let eff = self.core.on_abort(doomed);
-                    self.apply_abort_effects(eff);
+                    self.apply_abort_effects(eff, Some(doomed));
                 }
             }
         }
         self.pool.push(env);
         self.try_deliver();
+    }
+
+    fn record_orphan(&mut self, msg: MsgId, guess: GuessId) {
+        if self.tele.enabled() {
+            let t = self.now_us();
+            self.tele.record(TelemetryEvent::Orphan {
+                t,
+                process: self.pid,
+                msg,
+                guess,
+            });
+        }
     }
 
     fn try_deliver(&mut self) {
@@ -881,8 +952,9 @@ impl Actor {
                 return;
             };
             let mut env = self.pool.remove(idx);
-            if let ArrivalVerdict::Orphan(_) = self.core.classify_arrival(&mut env) {
+            if let ArrivalVerdict::Orphan(g) = self.core.classify_arrival(&mut env) {
                 self.stats.orphans += 1;
+                self.record_orphan(env.id, g);
                 continue;
             }
             self.deliver_to(tid, env);
@@ -908,17 +980,20 @@ impl Actor {
             if th.status != Status::BlockedRecv {
                 continue;
             }
+            // Withhold messages that depend on one of our own *live*
+            // future guesses (§4.2.3). The liveness-based core check
+            // also catches stale-incarnation guesses surviving in the
+            // pool across an incarnation bump — an incarnation-equality
+            // filter here once let those through prematurely (pinned by
+            // `stale_incarnation_guess_still_withheld_from_earlier_thread`
+            // in opcsp-core).
             let candidates: Vec<(usize, &Envelope)> = self
                 .pool
                 .iter()
                 .enumerate()
                 .filter(|(_, m)| {
                     !m.kind.is_return()
-                        && !m.guard().iter().any(|g| {
-                            g.process == self.pid
-                                && g.incarnation == self.core.incarnation
-                                && g.index > *tid
-                        })
+                        && self.core.guard_depends_on_future(*tid, m.guard()).is_none()
                 })
                 .collect();
             if candidates.is_empty() {
@@ -933,7 +1008,8 @@ impl Actor {
     }
 
     fn deliver_to(&mut self, tid: u32, env: Envelope) {
-        let introduces = self.core.live_new_guard_count(tid, env.guard()) > 0;
+        let new_deps = self.core.live_new_guard_count(tid, env.guard());
+        let introduces = new_deps > 0;
         if introduces {
             let th = self.threads.get_mut(&tid).unwrap();
             th.checkpoints.push(Checkpoint {
@@ -944,6 +1020,17 @@ impl Actor {
                 out_buf_len: th.out_buf.len(),
                 call_stack: th.call_stack.clone(),
                 fork_guess: th.fork_guess,
+                steps_len: th.steps,
+            });
+        }
+        if self.tele.enabled() {
+            let t = self.now_us();
+            self.tele.record(TelemetryEvent::Deliver {
+                t,
+                process: self.pid,
+                thread: tid,
+                msg: env.id,
+                new_deps: new_deps as u32,
             });
         }
         let _ = self.core.deliver(tid, &env);
@@ -988,7 +1075,7 @@ impl Actor {
             JoinDecision::Abort { effects } => {
                 let survives = !effects.rollback_threads.iter().any(|(t, _)| *t == tid)
                     && !effects.discard_threads.contains(&tid);
-                let rerun = self.apply_abort_effects(effects);
+                let rerun = self.apply_abort_effects(effects, Some(guess));
                 if survives && !rerun.contains(&guess) {
                     if let Some(th) = self.threads.get_mut(&tid) {
                         th.fork_guess = None;
@@ -1011,10 +1098,16 @@ impl Actor {
                 self.ready.push_back((tid, Resume::JoinSequential));
             }
         }
+        self.sync_tele();
     }
 
     fn local_commit(&mut self, g: GuessId) {
         self.stats.commits += 1;
+        if self.tele.enabled() {
+            let t = self.now_us();
+            self.tele.record(TelemetryEvent::WaveStart { t, guess: g });
+        }
+        self.sync_tele();
         self.broadcast(Control::Commit(g));
         if let Some(own) = self.core.own.get(&g) {
             let left = own.left_thread;
@@ -1031,6 +1124,14 @@ impl Actor {
         match ctrl {
             Control::Commit(g) => {
                 let eff = self.core.on_commit(g);
+                if self.tele.enabled() {
+                    let t = self.now_us();
+                    self.tele.record(TelemetryEvent::WaveLanded {
+                        t,
+                        guess: g,
+                        at: self.pid,
+                    });
+                }
                 for own in eff.own_committed {
                     self.local_commit(own);
                 }
@@ -1039,14 +1140,16 @@ impl Actor {
             }
             Control::Abort(g) => {
                 let eff = self.core.on_abort(g);
-                self.apply_abort_effects(eff);
+                self.apply_abort_effects(eff, Some(g));
             }
             Control::Precedence(g, guard) => {
                 let decoded = self.core.decode_control_guard(&guard);
                 let eff = self.core.on_precedence(g, &decoded);
-                self.apply_abort_effects(eff);
+                let root = eff.own_aborted.first().copied();
+                self.apply_abort_effects(eff, root);
             }
         }
+        self.sync_tele();
     }
 
     fn on_timer(&mut self, guess: GuessId) {
@@ -1066,10 +1169,18 @@ impl Actor {
             return;
         }
         let eff = self.core.on_abort(guess);
-        self.apply_abort_effects(eff);
+        self.apply_abort_effects(eff, Some(guess));
     }
 
-    fn apply_abort_effects(&mut self, effects: opcsp_core::AbortEffects) -> Vec<GuessId> {
+    fn apply_abort_effects(
+        &mut self,
+        effects: opcsp_core::AbortEffects,
+        root: Option<GuessId>,
+    ) -> Vec<GuessId> {
+        // Wasted-step attribution: prefer the triggering guess the call
+        // site named; a locally-detected cascade falls back to its first
+        // own aborted guess.
+        let root = root.or_else(|| effects.own_aborted.first().copied());
         for g in &effects.own_aborted {
             self.stats.aborts += 1;
             self.broadcast(Control::Abort(*g));
@@ -1077,6 +1188,17 @@ impl Actor {
         for tid in &effects.discard_threads {
             if let Some(mut th) = self.threads.remove(tid) {
                 self.stats.discarded_threads += 1;
+                if self.tele.enabled() {
+                    let t = self.now_us();
+                    self.tele.record(TelemetryEvent::Discard {
+                        t,
+                        process: self.pid,
+                        thread: *tid,
+                        intervals: (th.checkpoints.len() as u32).saturating_sub(1),
+                        steps_lost: th.steps,
+                        root,
+                    });
+                }
                 for (_, env) in th.consumed.drain(..) {
                     self.pool.push(env);
                 }
@@ -1085,7 +1207,7 @@ impl Actor {
             }
         }
         for (tid, slot) in &effects.rollback_threads {
-            self.restore_thread(*tid, *slot);
+            self.restore_thread(*tid, *slot, root);
         }
         let mut resumed = Vec::new();
         for g in &effects.rerun_sequential {
@@ -1103,16 +1225,19 @@ impl Actor {
         // Restores can empty guards (resolved guesses are filtered out):
         // release any buffered external outputs that became safe.
         self.flush_buffers();
+        self.sync_tele();
         resumed
     }
 
-    fn restore_thread(&mut self, tid: u32, slot: u32) {
+    fn restore_thread(&mut self, tid: u32, slot: u32, root: Option<GuessId>) {
         self.stats.rollbacks += 1;
         let Some(th) = self.threads.get_mut(&tid) else {
             return;
         };
         let slot = slot as usize;
         let chk = th.checkpoints[slot].clone();
+        let depth = (th.checkpoints.len() - slot) as u32;
+        let steps_lost = th.steps.saturating_sub(chk.steps_len);
         th.checkpoints.truncate(slot);
         th.state = chk.state;
         th.status = chk.status;
@@ -1120,23 +1245,42 @@ impl Actor {
         th.fork_guess = chk.fork_guess;
         th.oblog.truncate(chk.oblog_len);
         th.out_buf.truncate(chk.out_buf_len);
+        th.steps = chk.steps_len;
         for (_, env) in th.consumed.split_off(chk.consumed_len) {
             self.pool.push(env);
         }
         // Cancel queued work for the rolled-back thread: it is blocked at
         // its checkpointed receive/call again.
         self.ready.retain(|(t, _)| *t != tid);
+        if self.tele.enabled() {
+            let t = self.now_us();
+            self.tele.record(TelemetryEvent::Rollback {
+                t,
+                process: self.pid,
+                thread: tid,
+                depth,
+                steps_lost,
+                root,
+            });
+        }
     }
 
     fn purge_pool(&mut self) {
         let mut kept = Vec::with_capacity(self.pool.len());
+        let mut orphans = Vec::new();
         for mut env in self.pool.drain(..) {
             match self.core.classify_arrival(&mut env) {
-                ArrivalVerdict::Orphan(_) => self.stats.orphans += 1,
+                ArrivalVerdict::Orphan(g) => {
+                    self.stats.orphans += 1;
+                    orphans.push((env.id, g));
+                }
                 ArrivalVerdict::Ok => kept.push(env),
             }
         }
         self.pool = kept;
+        for (msg, g) in orphans {
+            self.record_orphan(msg, g);
+        }
     }
 
     fn flush_buffers(&mut self) {

@@ -16,8 +16,8 @@ use crate::latency::{DrawKey, LatencyModel, LatencySampler};
 use crate::trace::{SimStats, Trace, TraceEvent, VTime};
 use opcsp_core::{
     ArrivalVerdict, CallId, Control, CoreConfig, DataKind, Envelope, Guard, GuessId,
-    GuessResolution, Incarnation, JoinDecision, Label, MsgId, ProcessCore, ProcessId, ThreadId,
-    Value,
+    GuessResolution, Incarnation, JoinDecision, Label, MsgId, ProcessCore, ProcessId, Telemetry,
+    TelemetryEvent, ThreadId, Value,
 };
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -370,6 +370,12 @@ pub struct SimResult {
     pub latency_draws: Vec<(DrawKey, u64)>,
     /// Per-process guess-resolution provenance (owners only).
     pub resolutions: BTreeMap<ProcessId, Vec<GuessResolution>>,
+    /// Unified lifecycle event stream (`core::telemetry`): fork→resolution
+    /// spans, rollback depth/wasted-step attribution, commit waves,
+    /// deliveries and orphan drops. Always recorded by the simulator (it
+    /// already keeps a full [`Trace`]); export with
+    /// [`opcsp_core::Telemetry::to_perfetto_json`].
+    pub telemetry: Telemetry,
 }
 
 impl SimResult {
@@ -409,6 +415,8 @@ pub struct World {
     /// Position in `cfg.delivery_schedule` per process (non-return
     /// receives consumed so far).
     sched_pos: BTreeMap<ProcessId, usize>,
+    /// Unified lifecycle event sink (`core::telemetry`).
+    tele: Telemetry,
 }
 
 impl World {
@@ -432,6 +440,7 @@ impl World {
             link_seq: BTreeMap::new(),
             link_heads: BTreeMap::new(),
             sched_pos: BTreeMap::new(),
+            tele: Telemetry::new(true),
         };
         for (i, b) in behaviors.into_iter().enumerate() {
             let id = ProcessId(i as u32);
@@ -523,6 +532,12 @@ impl World {
             self.trace.stats.wire.merge(p.core.wire_stats());
             self.trace.stats.interner.merge(p.core.interner_full_stats());
         }
+        // Catch any resolutions recorded since the last per-event sync.
+        let now = self.now;
+        for i in 0..self.procs.len() {
+            let p = &self.procs[i];
+            self.tele.sync_resolutions(now, p.id, &p.core.resolutions);
+        }
         let mut process_done = BTreeMap::new();
         let mut logs = BTreeMap::new();
         let mut provenance = BTreeMap::new();
@@ -563,7 +578,17 @@ impl World {
             provenance,
             latency_draws: self.latency.draws().to_vec(),
             resolutions,
+            telemetry: self.tele,
         }
+    }
+
+    /// Emit `Resolved` telemetry for resolutions the core recorded since
+    /// the last sync (cursor-idempotent; called after every resolution-
+    /// producing protocol step).
+    fn sync_tele(&mut self, pid: ProcessId) {
+        let now = self.now;
+        let p = &self.procs[pid.0 as usize];
+        self.tele.sync_resolutions(now, pid, &p.core.resolutions);
     }
 
     // ------------------------------------------------------------------
@@ -725,6 +750,13 @@ impl World {
                         guess: rec.guess,
                         left: lt,
                         right: rt,
+                    });
+                    self.tele.record(TelemetryEvent::Fork {
+                        t: now,
+                        guess: rec.guess,
+                        site,
+                        left: tid,
+                        right: rec.right_thread,
                     });
                     self.trace.stats.checkpoints_taken += 1;
                     self.resume_at(
@@ -957,6 +989,13 @@ impl World {
             left: lt,
             right: rt,
         });
+        self.tele.record(TelemetryEvent::Fork {
+            t: now,
+            guess: rec.guess,
+            site,
+            left: tid,
+            right: rec.right_thread,
+        });
         self.trace.stats.checkpoints_taken += 1; // the fork's state copy
         self.resume_at(pid, tid, now + self.cfg.fork_cost, Resume::ForkLeft);
         self.resume_at(
@@ -1012,7 +1051,7 @@ impl World {
                 // no resume here.
                 let this_thread_survives = !effects.rollback_threads.iter().any(|(t, _)| *t == tid)
                     && !effects.discard_threads.contains(&tid);
-                let survivor_rerun = self.apply_abort_effects(pid, effects);
+                let survivor_rerun = self.apply_abort_effects(pid, effects, Some(guess));
                 // The left thread (this one) re-executes S2 sequentially,
                 // unless the cascade already scheduled it.
                 if this_thread_survives && !survivor_rerun.contains(&guess) {
@@ -1045,6 +1084,7 @@ impl World {
                 self.resume_at(pid, tid, now + self.cfg.step_cost, Resume::JoinSequential);
             }
         }
+        self.sync_tele(pid);
     }
 
     /// A local (own) guess committed: trace, broadcast, finish left thread.
@@ -1054,6 +1094,9 @@ impl World {
             at: pid,
             guess: g,
         });
+        self.tele
+            .record(TelemetryEvent::WaveStart { t: self.now, guess: g });
+        self.sync_tele(pid);
         self.broadcast(pid, Control::Commit(g));
         let p = &mut self.procs[pid.0 as usize];
         if let Some(own) = p.core.own.get(&g) {
@@ -1080,6 +1123,12 @@ impl World {
         let p = &mut self.procs[pid.0 as usize];
         match p.core.classify_arrival(&mut env) {
             ArrivalVerdict::Orphan(g) => {
+                self.tele.record(TelemetryEvent::Orphan {
+                    t: self.now,
+                    process: pid,
+                    msg: env.id,
+                    guess: g,
+                });
                 self.trace.push(TraceEvent::Orphan {
                     t: self.now,
                     msg: env.id,
@@ -1107,7 +1156,7 @@ impl World {
                         at: pid,
                         cycle: vec![doomed],
                     });
-                    self.apply_abort_effects(pid, effects);
+                    self.apply_abort_effects(pid, effects, Some(doomed));
                 }
             }
         }
@@ -1126,6 +1175,12 @@ impl World {
             // Re-check orphan status: aborts may have arrived since pooling.
             let p = &mut self.procs[pid.0 as usize];
             if let ArrivalVerdict::Orphan(g) = p.core.classify_arrival(&mut env) {
+                self.tele.record(TelemetryEvent::Orphan {
+                    t: self.now,
+                    process: pid,
+                    msg: env.id,
+                    guess: g,
+                });
                 self.trace.push(TraceEvent::Orphan {
                     t: self.now,
                     msg: env.id,
@@ -1207,11 +1262,11 @@ impl World {
 
     /// Does `env` depend on a fork of this process later than `tid`?
     /// Delivering it to `tid` would make that future guess depend on
-    /// itself (§4.2.3's x4/x5/x6 example).
+    /// itself (§4.2.3's x4/x5/x6 example). Delegates to the core's
+    /// liveness-based check so stale-incarnation-but-live guesses are
+    /// still withheld (see `guard_depends_on_future`).
     fn depends_on_future(&self, p: &SimProcess, tid: u32, env: &Envelope) -> bool {
-        env.guard()
-            .iter()
-            .any(|g| g.process == p.id && g.incarnation == p.core.incarnation && g.index > tid)
+        p.core.guard_depends_on_future(tid, env.guard()).is_some()
     }
 
     fn deliver_to(&mut self, pid: ProcessId, tid: u32, env: Envelope) {
@@ -1219,7 +1274,8 @@ impl World {
         let p = &mut self.procs[pid.0 as usize];
         // Checkpoint *before* applying a dependency-introducing message
         // (§3.1). Peek whether new guards arrive.
-        let introduces = p.core.live_new_guard_count(tid, env.guard()) > 0;
+        let new_deps = p.core.live_new_guard_count(tid, env.guard());
+        let introduces = new_deps > 0;
         if introduces {
             let every = self.cfg.checkpoint_every.max(1);
             let th = p.threads.get_mut(&tid).unwrap();
@@ -1276,6 +1332,13 @@ impl World {
             label: env.label.clone(),
             guard: env.guard().clone(),
         });
+        self.tele.record(TelemetryEvent::Deliver {
+            t: now,
+            process: pid,
+            thread: tid,
+            msg: env.id,
+            new_deps: new_deps as u32,
+        });
         self.resume_at(
             pid,
             tid,
@@ -1301,6 +1364,12 @@ impl World {
                     at: to,
                     guess: g,
                 });
+                self.tele.record(TelemetryEvent::WaveLanded {
+                    t: self.now,
+                    guess: g,
+                    at: to,
+                });
+                self.sync_tele(to);
                 for own in eff.own_committed {
                     self.trace.push(TraceEvent::JoinCommit {
                         t: self.now,
@@ -1327,7 +1396,7 @@ impl World {
                         guess: g,
                     });
                 }
-                self.apply_abort_effects(to, eff);
+                self.apply_abort_effects(to, eff, Some(g));
             }
             Control::Precedence(g, guard) => {
                 let eff = {
@@ -1342,9 +1411,11 @@ impl World {
                         cycle: eff.own_aborted.clone(),
                     });
                 }
-                self.apply_abort_effects(to, eff);
+                let root = eff.own_aborted.first().copied();
+                self.apply_abort_effects(to, eff, root);
             }
         }
+        self.sync_tele(to);
     }
 
     fn handle_timer(&mut self, guess: GuessId) {
@@ -1372,7 +1443,7 @@ impl World {
             let p = &mut self.procs[pid.0 as usize];
             p.core.on_abort(guess)
         };
-        self.apply_abort_effects(pid, eff);
+        self.apply_abort_effects(pid, eff, Some(guess));
     }
 
     /// Apply an `AbortEffects` bundle: discard threads, restore
@@ -1382,8 +1453,13 @@ impl World {
         &mut self,
         pid: ProcessId,
         effects: opcsp_core::AbortEffects,
+        root: Option<GuessId>,
     ) -> Vec<GuessId> {
         let now = self.now;
+        // Wasted-step attribution: prefer the triggering guess the call
+        // site named; a locally-detected cascade falls back to its first
+        // own aborted guess.
+        let root = root.or_else(|| effects.own_aborted.first().copied());
         for g in &effects.own_aborted {
             self.trace.push(TraceEvent::Abort {
                 t: now,
@@ -1401,6 +1477,14 @@ impl World {
                 for (_, env) in th.consumed.drain(..) {
                     p.pool.push(env);
                 }
+                self.tele.record(TelemetryEvent::Discard {
+                    t: now,
+                    process: pid,
+                    thread: *tid,
+                    intervals: (th.checkpoints.len() as u32).saturating_sub(1),
+                    steps_lost: th.resume_log.len() as u64,
+                    root,
+                });
                 let t = self.tid(pid, *tid);
                 self.trace.push(TraceEvent::Discard { t: now, thread: t });
             }
@@ -1408,7 +1492,7 @@ impl World {
         // Rollbacks: restore the engine-side checkpoint matching the slot
         // the core already restored.
         for (tid, slot) in &effects.rollback_threads {
-            self.restore_thread(pid, *tid, *slot);
+            self.restore_thread(pid, *tid, *slot, root);
         }
         // Sequential re-runs for surviving left threads whose S1 finished.
         let mut resumed = Vec::new();
@@ -1433,10 +1517,11 @@ impl World {
         // A restore filters since-resolved guesses out of the restored
         // guard; if it emptied, buffered external outputs are now safe.
         self.flush_buffers(pid);
+        self.sync_tele(pid);
         resumed
     }
 
-    fn restore_thread(&mut self, pid: ProcessId, tid: u32, slot: u32) {
+    fn restore_thread(&mut self, pid: ProcessId, tid: u32, slot: u32, root: Option<GuessId>) {
         let now = self.now;
         let p = &mut self.procs[pid.0 as usize];
         let behavior = p.behavior.clone();
@@ -1446,6 +1531,10 @@ impl World {
         let slot = slot as usize;
         debug_assert!(slot >= 1 && slot < th.checkpoints.len());
         let meta = th.checkpoints[slot].clone();
+        // Intervals popped and behavior steps un-executed by this restore,
+        // for wasted-work attribution.
+        let depth = (th.checkpoints.len() - slot) as u32;
+        let steps_lost = (th.resume_log.len() - meta.resume_len) as u64;
         // Restore the behavior state: directly from the boundary's
         // snapshot, or from the nearest earlier snapshot plus a
         // deterministic replay of the logged resumes (§3.1: "restoring the
@@ -1492,6 +1581,14 @@ impl World {
             thread: t,
             slot: slot as u32,
         });
+        self.tele.record(TelemetryEvent::Rollback {
+            t: now,
+            process: pid,
+            thread: tid,
+            depth,
+            steps_lost,
+            root,
+        });
     }
 
     /// Drop pooled messages that have become orphans.
@@ -1507,6 +1604,12 @@ impl World {
         }
         p.pool = kept;
         for (msg, label, g) in orphans {
+            self.tele.record(TelemetryEvent::Orphan {
+                t: self.now,
+                process: pid,
+                msg,
+                guess: g,
+            });
             self.trace.push(TraceEvent::Orphan {
                 t: self.now,
                 msg,

@@ -274,6 +274,7 @@ mod tests {
             provenance: BTreeMap::new(),
             latency_draws: Vec::new(),
             resolutions: BTreeMap::new(),
+            telemetry: opcsp_core::Telemetry::default(),
         }
     }
 

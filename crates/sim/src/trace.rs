@@ -2,9 +2,7 @@
 //! used to re-render the paper's time-line figures, compute statistics, and
 //! check Theorem 1 (trace equivalence with the pessimistic execution).
 
-use opcsp_core::{
-    Control, Guard, GuessId, InternerStats, Label, MsgId, ProcessId, ThreadId, Value, WireStats,
-};
+use opcsp_core::{Control, Guard, GuessId, Label, MsgId, ProcessId, ProtoStats, ThreadId, Value};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -132,34 +130,37 @@ impl TraceEvent {
 /// tables in EXPERIMENTS.md.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
-    pub forks: u64,
-    pub commits: u64,
-    pub aborts: u64,
+    /// Protocol counters shared with the runtime (`core::telemetry`):
+    /// forks, commits, aborts, rollbacks, discards, orphans, message and
+    /// wire-byte counts. Accessed transparently via `Deref` — `stats.forks`
+    /// reads `stats.proto.forks`.
+    pub proto: ProtoStats,
+    /// Simulator-only: §2/Figure-5 value faults detected at joins.
     pub value_faults: u64,
+    /// Simulator-only: local + distributed time faults.
     pub time_faults: u64,
+    /// Simulator-only: fork timeouts fired (§3.2 liveness).
     pub timeouts: u64,
-    pub rollbacks: u64,
-    pub discarded_threads: u64,
-    pub orphans_discarded: u64,
-    pub data_messages: u64,
-    pub control_messages: u64,
+    /// Payload bytes of data messages.
     pub data_bytes: u64,
-    /// Bytes of guard tags as encoded on the wire (codec-dependent: full
-    /// sets or compact + rows — row bytes are included here too).
-    pub guard_bytes: u64,
-    /// Bytes of incarnation-table traffic piggybacked on data messages:
-    /// attached rows plus row acks.
-    pub table_bytes: u64,
     /// Full state snapshots taken (checkpointing-cost ablation).
     pub checkpoints_taken: u64,
     /// Behavior steps re-executed during replay-based restores (sparse
     /// checkpointing, §3.1).
     pub replayed_steps: u64,
-    /// Wire-codec counters aggregated over all processes at the end of the
-    /// run (compact sends, full fallbacks, rows/acks shipped).
-    pub wire: WireStats,
-    /// Guard-interner counters aggregated over all processes.
-    pub interner: InternerStats,
+}
+
+impl std::ops::Deref for SimStats {
+    type Target = ProtoStats;
+    fn deref(&self) -> &ProtoStats {
+        &self.proto
+    }
+}
+
+impl std::ops::DerefMut for SimStats {
+    fn deref_mut(&mut self) -> &mut ProtoStats {
+        &mut self.proto
+    }
 }
 
 /// The full record of a run.
@@ -177,11 +178,21 @@ impl Trace {
             TraceEvent::ValueFault { .. } => self.stats.value_faults += 1,
             TraceEvent::TimeFault { .. } => self.stats.time_faults += 1,
             TraceEvent::Timeout { .. } => self.stats.timeouts += 1,
-            TraceEvent::Abort { .. } => self.stats.aborts += 1,
-            TraceEvent::Commit { .. } => self.stats.commits += 1,
+            // Count resolutions once, at the guess's owner — commit/abort
+            // wave *landings* at other processes are the same resolution
+            // propagating, not new ones. This matches the runtime's
+            // counting, so the two engines' ProtoStats are comparable.
+            TraceEvent::Abort { at, guess, .. } if *at == guess.process => {
+                self.stats.aborts += 1
+            }
+            TraceEvent::Abort { .. } => {}
+            TraceEvent::Commit { at, guess, .. } if *at == guess.process => {
+                self.stats.commits += 1
+            }
+            TraceEvent::Commit { .. } => {}
             TraceEvent::Rollback { .. } => self.stats.rollbacks += 1,
             TraceEvent::Discard { .. } => self.stats.discarded_threads += 1,
-            TraceEvent::Orphan { .. } => self.stats.orphans_discarded += 1,
+            TraceEvent::Orphan { .. } => self.stats.orphans += 1,
             TraceEvent::ControlSent { .. } => self.stats.control_messages += 1,
             _ => {}
         }

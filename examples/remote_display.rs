@@ -207,7 +207,7 @@ fn main() {
         "\nWith a 4-line window ({} value fault, {} rollbacks, {} orphans):",
         cramped.stats().value_faults,
         cramped.stats().rollbacks,
-        cramped.stats().orphans_discarded,
+        cramped.stats().orphans,
     );
     show_screen(&cramped);
     let sequential = run(false, 4, d);

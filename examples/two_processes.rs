@@ -43,7 +43,7 @@ fn main() {
         fig7.stats().time_faults,
         fig7.stats().aborts,
         fig7.stats().rollbacks,
-        fig7.stats().orphans_discarded,
+        fig7.stats().orphans,
     );
 
     let pess7 = run_fig7(false, d);

@@ -25,7 +25,7 @@ fn show(title: &str, r: &opcsp_sim::SimResult) {
         r.stats().value_faults,
         r.stats().time_faults,
         r.stats().rollbacks,
-        r.stats().orphans_discarded,
+        r.stats().orphans,
     );
 }
 

@@ -147,7 +147,7 @@ fn fig4_time_fault_detected_and_recovered() {
     let aborted = r.trace.aborted_guesses();
     assert!(aborted.iter().any(|g| g.process == X && g.index == 1));
     // Orphans were discarded (the contaminated R3/R2 or the requeued C3).
-    assert!(r.stats().orphans_discarded >= 1);
+    assert!(r.stats().orphans >= 1);
 
     // Despite the fault, the committed traces equal the pessimistic run.
     let pess = run_update_write(UpdateWriteOpts {
