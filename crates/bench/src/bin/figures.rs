@@ -5,7 +5,7 @@
 //!   figures fig3 e1 t1  — selected items
 //!
 //! Items: fig1..fig7, e1, e2, e3, e4, e5, e6, e8, e9, e10, chain, t1,
-//! interner, lifecycle.
+//! interner, lifecycle, scaling.
 
 use opcsp_bench::experiments as ex;
 
@@ -46,6 +46,7 @@ fn main() {
         ("t1", ex::t1_equivalence),
         ("interner", ex::interner_stats),
         ("lifecycle", ex::lifecycle_stats),
+        ("scaling", ex::scaling),
     ];
     for (name, f) in tables {
         if want(name) {

@@ -906,6 +906,71 @@ pub fn lifecycle_stats() -> Table {
     t
 }
 
+/// E11 — executor scaling: committed-calls/sec vs worker count at 4096
+/// processes (2048 independent client→server pairs, 4 calls each, zero
+/// injected latency, optimism off — raw scheduling throughput, no wire
+/// wait and no cross-pair protocol traffic). The thread-per-process
+/// executor cannot host a world this wide; a 512-process threaded row
+/// anchors the comparison. DESIGN.md §11.
+pub fn scaling() -> Table {
+    use std::time::{Duration, Instant};
+    let mut t = Table::new(
+        "E11 — sharded executor scaling (independent pairs, 4 calls each)",
+        &["executor", "processes", "wall ms", "calls/sec", "speedup"],
+    );
+    let run = |procs: u32, ex: opcsp_rt::Executor| -> (Duration, u64) {
+        let cfg = opcsp_rt::RtConfig {
+            optimism: false,
+            latency: Duration::ZERO,
+            run_timeout: Duration::from_secs(120),
+            executor: ex,
+            ..opcsp_rt::RtConfig::default()
+        };
+        let w = opcsp_workloads::streaming::rt_pairs_world(procs / 2, 4, cfg);
+        let t0 = Instant::now();
+        let r = w.run();
+        let wall = t0.elapsed();
+        assert!(
+            !r.timed_out && r.panicked.is_empty() && r.stragglers.is_empty(),
+            "scaling run failed: {:?}",
+            r.stats
+        );
+        (wall, u64::from(procs / 2) * 4)
+    };
+    let mut fmt_row = |label: String, procs: u32, wall: Duration, calls: u64, base: f64| {
+        let rate = calls as f64 / wall.as_secs_f64();
+        t.row(vec![
+            label,
+            procs.to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            format!("{rate:.0}"),
+            if base > 0.0 {
+                format!("{:.2}x", rate / base)
+            } else {
+                "—".into()
+            },
+        ]);
+        rate
+    };
+    let (wall, calls) = run(512, opcsp_rt::Executor::Threaded);
+    fmt_row("threaded".into(), 512, wall, calls, 0.0);
+    let procs = 4096u32;
+    let mut base = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let (wall, calls) = run(procs, opcsp_rt::Executor::Sharded { workers });
+        let rate = fmt_row(format!("sharded:{workers}"), procs, wall, calls, base);
+        if workers == 1 {
+            base = rate;
+        }
+    }
+    t.note(
+        "Speedup is relative to sharded:1 at 4096 processes. Wall clock, so absolute \
+         numbers vary by machine; the claim is the trend — committed-calls/sec grows \
+         with the worker count because no link crosses a pair (nothing serializes).",
+    );
+    t
+}
+
 /// Every experiment table, in DESIGN.md index order.
 pub fn all_tables() -> Vec<Table> {
     vec![
@@ -922,6 +987,7 @@ pub fn all_tables() -> Vec<Table> {
         t1_equivalence(),
         interner_stats(),
         lifecycle_stats(),
+        scaling(),
     ]
 }
 

@@ -586,6 +586,21 @@ impl ProcessCore {
             })
             .count()
     }
+
+    /// Poll-style completion check for executors: no own guess is still
+    /// live, i.e. every speculation this process started has committed or
+    /// aborted. Combined with "every program thread is done" this is the
+    /// client-completion condition the runtime's coordinator waits on;
+    /// kept here (not in the executor) so both runtime executors and the
+    /// simulator answer the question identically.
+    pub fn speculation_quiescent(&self) -> bool {
+        !self.own.values().any(|o| {
+            matches!(
+                o.state,
+                OwnGuessState::Pending | OwnGuessState::AwaitingResolution
+            )
+        })
+    }
 }
 
 #[cfg(test)]

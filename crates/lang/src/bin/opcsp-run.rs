@@ -26,6 +26,10 @@
 //!                        simulator (latency/timeout ticks become ms);
 //!                        processes without an infinite loop are the
 //!                        clients whose completion ends the run
+//!   --workers <N>        (with --rt) host the processes on the sharded
+//!                        M:N executor with N worker threads instead of
+//!                        thread-per-process (DESIGN.md §11); with
+//!                        --compare both runs use the same executor
 //!   --chaos <spec>       (with --rt) inject network faults under the
 //!                        reliable-delivery sublayer, e.g.
 //!                        drop=0.2,dup=0.1,reorder=3,seed=7,part=0-1@0+80
@@ -76,6 +80,7 @@ struct Options {
     inject_lifo: bool,
     inject_phantom: bool,
     rt: bool,
+    workers: Option<usize>,
     chaos: Option<String>,
     trace_out: Option<String>,
 }
@@ -96,6 +101,7 @@ fn parse_args() -> Result<Options, String> {
         inject_lifo: false,
         inject_phantom: false,
         rt: false,
+        workers: None,
         chaos: None,
         trace_out: None,
     };
@@ -122,6 +128,13 @@ fn parse_args() -> Result<Options, String> {
             "--trace-out" => {
                 opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
             }
+            "--workers" => {
+                let w = num("--workers")? as usize;
+                if w == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+                opts.workers = Some(w);
+            }
             "--latency" => opts.latency = num("--latency")?,
             "--jitter" => opts.jitter = num("--jitter")?,
             "--seed" => opts.seed = num("--seed")?,
@@ -143,7 +156,7 @@ fn usage() {
         "usage: opcsp-run <file.csp> [--pessimistic] [--compare] [--latency d] \
          [--jitter s] [--seed n] [--timeline] [--show-transform] [--timeout t] \
          [--retry-limit L] [--forensics] [--inject-lifo] [--inject-phantom] \
-         [--rt] [--chaos spec] [--trace-out path]"
+         [--rt] [--workers N] [--chaos spec] [--trace-out path]"
     );
 }
 
@@ -229,56 +242,8 @@ fn write_trace(path: &str, json: &str) {
     }
 }
 
-/// Theorem-1 merge-order equivalence for two committed rt logs: the
-/// reliable sublayer guarantees FIFO *per link*, so the projection of
-/// receives onto each sender (and of sends onto each target) must match
-/// positionally, but cross-sender interleaving at a fan-in is legal CSP
-/// nondeterminism — chaos may reorder it. Outputs are compared as
-/// multisets (they follow the merge).
-fn merge_equiv(base: &[opcsp_sim::Observable], chaotic: &[opcsp_sim::Observable]) -> bool {
-    use opcsp_sim::Observable as O;
-    if base.len() != chaotic.len() {
-        return false;
-    }
-    let peers: std::collections::BTreeSet<ProcessId> = base
-        .iter()
-        .chain(chaotic)
-        .filter_map(|o| match o {
-            O::Received { from, .. } => Some(*from),
-            O::Sent { to, .. } => Some(*to),
-            _ => None,
-        })
-        .collect();
-    for peer in peers {
-        let recv = |log: &[opcsp_sim::Observable]| -> Vec<opcsp_sim::Observable> {
-            log.iter()
-                .filter(|o| matches!(o, O::Received { from, .. } if *from == peer))
-                .cloned()
-                .collect()
-        };
-        let sent = |log: &[opcsp_sim::Observable]| -> Vec<opcsp_sim::Observable> {
-            log.iter()
-                .filter(|o| matches!(o, O::Sent { to, .. } if *to == peer))
-                .cloned()
-                .collect()
-        };
-        if recv(base) != recv(chaotic) || sent(base) != sent(chaotic) {
-            return false;
-        }
-    }
-    let outputs = |log: &[opcsp_sim::Observable]| -> Vec<String> {
-        let mut v: Vec<String> = log
-            .iter()
-            .filter_map(|o| match o {
-                O::Output { payload } => Some(format!("{payload:?}")),
-                _ => None,
-            })
-            .collect();
-        v.sort();
-        v
-    };
-    outputs(base) == outputs(chaotic)
-}
+// Merge-order log equivalence lives in `opcsp_rt::merge_equiv`, shared
+// with the executor differential tests.
 
 /// Run on the real-thread runtime; with `--compare`, check the chaos
 /// differential: the chaotic run's committed logs must equal a fault-free
@@ -313,6 +278,10 @@ fn run_rt(sys: &System, opts: &Options) -> ExitCode {
         run_timeout: Duration::from_secs(30),
         faults,
         telemetry: opts.trace_out.is_some(),
+        executor: match opts.workers {
+            Some(workers) => opcsp_rt::Executor::Sharded { workers },
+            None => opcsp_rt::RtConfig::default().executor,
+        },
         ..opcsp_rt::RtConfig::default()
     };
     let names: BTreeMap<ProcessId, String> =
@@ -334,7 +303,7 @@ fn run_rt(sys: &System, opts: &Options) -> ExitCode {
             if chaos_log == Some(base_log) {
                 continue;
             }
-            if chaos_log.is_some_and(|l| merge_equiv(base_log, l)) {
+            if chaos_log.is_some_and(|l| opcsp_rt::merge_equiv(base_log, l)) {
                 merge_only = true;
                 continue;
             }
@@ -449,6 +418,10 @@ fn main() -> ExitCode {
     }
     if opts.chaos.is_some() {
         eprintln!("error: --chaos requires --rt (the simulator injects faults via --jitter)");
+        return ExitCode::FAILURE;
+    }
+    if opts.workers.is_some() {
+        eprintln!("error: --workers requires --rt (the simulator has no executor pool)");
         return ExitCode::FAILURE;
     }
 

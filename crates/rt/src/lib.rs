@@ -1,10 +1,15 @@
 //! # opcsp-rt — the protocol on real threads
 //!
-//! One OS thread per process, crossbeam channels as the network, a
+//! Process actors on OS threads, crossbeam channels as the network, a
 //! latency-injecting delayer thread as the WAN, and the identical
 //! protocol core (`opcsp_core::ProcessCore`) the simulator uses. Shows
 //! the transformation is not simulator-bound and provides the wall-clock
 //! measurements of experiment E7.
+//!
+//! Two executors host the same poll-able process core (DESIGN.md §11):
+//! [`Executor::Threaded`] is thread-per-process, [`Executor::Sharded`] is
+//! an M:N worker pool that scales a world to 10k–100k processes. Their
+//! committed-log agreement is the correctness oracle for the scheduler.
 //!
 //! The network is a two-layer transport (DESIGN.md §9): a seeded chaos
 //! layer ([`NetFaults`]: drops, duplicates, reordering, partitions)
@@ -12,8 +17,11 @@
 //! retransmission, dedup, in-order release), so the protocol core keeps
 //! the reliable FIFO network the paper assumes.
 
+mod core_poll;
+pub mod executor;
 pub mod net;
 pub mod runtime;
 
-pub use net::{Delayer, FlushClass, NetFaults, NetStats, Partition, Transport};
-pub use runtime::{RtConfig, RtResult, RtStats, RtWorld};
+pub use executor::Executor;
+pub use net::{Delayer, FlushClass, Mailbox, NetFaults, NetStats, Partition, Transport};
+pub use runtime::{merge_equiv, RtConfig, RtResult, RtStats, RtWorld};

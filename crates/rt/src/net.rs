@@ -63,6 +63,51 @@ pub enum Payload {
     Ctrl(Control),
 }
 
+/// Address of a process inbox, independent of executor shape (DESIGN.md
+/// §11): the threaded executor gives every actor a dedicated channel; the
+/// sharded executor multiplexes a worker's whole shard over one channel
+/// with the destination pid tagged on each item, so a scheduling round can
+/// drain cross-shard traffic in one batch.
+#[derive(Clone)]
+pub enum Mailbox {
+    /// Dedicated per-process channel (thread-per-process executor).
+    Direct(Sender<Wire>),
+    /// Shared shard channel; the worker demultiplexes by pid.
+    Shard {
+        pid: ProcessId,
+        tx: Sender<(ProcessId, Wire)>,
+    },
+}
+
+impl Mailbox {
+    /// Deliver an item; `false` if the receiving executor already exited.
+    pub fn send(&self, w: Wire) -> bool {
+        match self {
+            Mailbox::Direct(tx) => tx.send(w).is_ok(),
+            Mailbox::Shard { pid, tx } => tx.send((*pid, w)).is_ok(),
+        }
+    }
+}
+
+/// Destination of a [`Delayer`] item — anything that can absorb a `T`.
+/// Plain channel senders work as before; [`Mailbox`] routes to whichever
+/// executor owns the target process.
+pub trait DeliverTo<T>: Send {
+    fn deliver(&self, item: T);
+}
+
+impl<T: Send> DeliverTo<T> for Sender<T> {
+    fn deliver(&self, item: T) {
+        let _ = self.send(item);
+    }
+}
+
+impl DeliverTo<Wire> for Mailbox {
+    fn deliver(&self, item: Wire) {
+        self.send(item);
+    }
+}
+
 /// One reliable-sublayer frame on the directed link `from → to`.
 #[derive(Debug, Clone)]
 pub struct Frame {
@@ -241,6 +286,15 @@ impl NetStats {
     }
 }
 
+/// Transport maintenance cadence for a given injected latency: half the
+/// base RTO. Shared by both executors — the threaded executor schedules a
+/// per-actor delayer timer at this interval, the sharded executor runs a
+/// whole-shard tick sweep on the same cadence.
+pub fn tick_interval_for(latency: Duration) -> Duration {
+    let rto = (latency * 4).max(Duration::from_millis(8));
+    (rto / 2).max(Duration::from_millis(2))
+}
+
 struct Unacked {
     seq: u64,
     body: Payload,
@@ -279,9 +333,16 @@ pub struct Transport {
     rto_cap: Duration,
     start: Instant,
     delayer: Arc<Delayer<Wire>>,
-    senders: Vec<Sender<Wire>>,
+    net: Arc<Vec<Mailbox>>,
     tx: BTreeMap<ProcessId, LinkTx>,
     rx: BTreeMap<ProcessId, LinkRx>,
+    /// Frames awaiting an ack, across all links (kept incrementally so
+    /// [`Transport::needs_tick`] is O(1) — the sharded executor polls it
+    /// for every actor every tick round).
+    unacked_total: u64,
+    /// Links currently owing a standalone ack, kept incrementally for the
+    /// same reason.
+    acks_owed: usize,
     pub stats: NetStats,
 }
 
@@ -292,7 +353,7 @@ impl Transport {
         latency: Duration,
         start: Instant,
         delayer: Arc<Delayer<Wire>>,
-        senders: Vec<Sender<Wire>>,
+        net: Arc<Vec<Mailbox>>,
     ) -> Transport {
         let rto = (latency * 4).max(Duration::from_millis(8));
         Transport {
@@ -303,21 +364,31 @@ impl Transport {
             rto_cap: (rto * 16).min(Duration::from_millis(500)).max(rto),
             start,
             delayer,
-            senders,
+            net,
             tx: BTreeMap::new(),
             rx: BTreeMap::new(),
+            unacked_total: 0,
+            acks_owed: 0,
             stats: NetStats::default(),
         }
     }
 
     /// How often the owning actor should run [`Transport::tick`].
     pub fn tick_interval(&self) -> Duration {
-        (self.rto / 2).max(Duration::from_millis(2))
+        tick_interval_for(self.latency)
     }
 
     /// Number of processes on the network.
     pub fn n_processes(&self) -> usize {
-        self.senders.len()
+        self.net.len()
+    }
+
+    /// Would [`Transport::tick`] do anything right now? O(1); the sharded
+    /// executor uses this to skip idle actors in its per-round tick sweep
+    /// (at 10k+ processes, unconditionally scanning every transport's
+    /// links each round would dominate the scheduler).
+    pub fn needs_tick(&self) -> bool {
+        self.unacked_total > 0 || self.acks_owed > 0
     }
 
     /// Send a payload reliably: assign the next link sequence number,
@@ -332,6 +403,7 @@ impl Transport {
             due: Instant::now() + self.rto,
             backoff: self.rto,
         });
+        self.unacked_total += 1;
         self.stats.frames_sent += 1;
         self.transmit(to, Some((seq, body)), false);
     }
@@ -344,7 +416,10 @@ impl Transport {
         // Piggyback the cumulative ack for the reverse link.
         let ack = match self.rx.get_mut(&to) {
             Some(r) => {
-                r.ack_owed = false;
+                if r.ack_owed {
+                    self.acks_owed -= 1;
+                    r.ack_owed = false;
+                }
                 r.next_expected
             }
             None => 0,
@@ -379,11 +454,18 @@ impl Transport {
     }
 
     fn put_on_wire(&self, to: ProcessId, frame: Frame, delay: Duration) {
-        self.delayer.send_after(
-            delay,
-            self.senders[to.0 as usize].clone(),
-            Wire::Frame(frame),
-        );
+        let mb = &self.net[to.0 as usize];
+        if delay.is_zero() {
+            // Zero-latency fast path: skip the delayer thread entirely.
+            // Per-link FIFO is preserved — a link's frames are all put on
+            // the wire by the one executor thread that owns the sender,
+            // and either *every* frame on the link takes this path
+            // (latency 0, no reorder chaos) or the reliable sublayer
+            // restores order anyway.
+            mb.send(Wire::Frame(frame));
+        } else {
+            self.delayer.send_after(delay, mb.clone(), Wire::Frame(frame));
+        }
     }
 
     /// Ingest a frame from the wire. Returns the payloads released *in
@@ -395,12 +477,14 @@ impl Transport {
         if let Some(l) = self.tx.get_mut(&f.from) {
             while l.unacked.front().map(|u| u.seq < f.ack).unwrap_or(false) {
                 l.unacked.pop_front();
+                self.unacked_total -= 1;
             }
         }
         let mut out = Vec::new();
         let mut reordered = 0u64;
         if let Some((seq, body)) = f.msg {
             let r = self.rx.entry(f.from).or_default();
+            let was_owed = r.ack_owed;
             if seq < r.next_expected || r.ooo.contains_key(&seq) {
                 // Duplicate (injected, or a retransmit racing its ack):
                 // owe a fresh ack so the sender stops retransmitting.
@@ -416,6 +500,9 @@ impl Transport {
                     out.push(b);
                 }
             }
+            if r.ack_owed && !was_owed {
+                self.acks_owed += 1;
+            }
         }
         self.stats.reorder_releases += reordered;
         self.stats.frames_delivered += out.len() as u64;
@@ -426,6 +513,10 @@ impl Transport {
     /// exponential backoff up to the cap) and send standalone acks for
     /// links with no reverse traffic.
     pub fn tick(&mut self) {
+        if self.unacked_total == 0 {
+            self.flush_acks();
+            return;
+        }
         let now = Instant::now();
         let peers: Vec<ProcessId> = self.tx.keys().copied().collect();
         for p in peers {
@@ -451,6 +542,9 @@ impl Transport {
 
     /// Send standalone acks for every link that owes one.
     pub fn flush_acks(&mut self) {
+        if self.acks_owed == 0 {
+            return;
+        }
         let owed: Vec<ProcessId> = self
             .rx
             .iter()
@@ -468,8 +562,15 @@ impl Transport {
     /// quiescent when every actor reports zero unacked and the counters
     /// are unchanged across two consecutive probe rounds.
     pub fn quiet_probe(&self) -> (u64, u64, u64) {
-        let unacked = self.tx.values().map(|l| l.unacked.len() as u64).sum();
-        (self.stats.frames_sent, self.stats.frames_delivered, unacked)
+        debug_assert_eq!(
+            self.unacked_total,
+            self.tx.values().map(|l| l.unacked.len() as u64).sum::<u64>()
+        );
+        (
+            self.stats.frames_sent,
+            self.stats.frames_delivered,
+            self.unacked_total,
+        )
     }
 }
 
@@ -487,11 +588,12 @@ pub enum FlushClass {
     DropOnFlush,
 }
 
-/// A deliverable item addressed to an actor inbox.
+/// A deliverable item addressed to an actor inbox (or any other
+/// [`DeliverTo`] destination).
 pub struct Delayed<T> {
     pub due: Instant,
     pub seq: u64,
-    pub to: Sender<T>,
+    pub to: Box<dyn DeliverTo<T>>,
     pub item: T,
     pub class: FlushClass,
 }
@@ -540,17 +642,23 @@ impl<T: Send + 'static> Delayer<T> {
     }
 
     /// Deliver `item` to `to` after `delay` (flushed on teardown).
-    pub fn send_after(&self, delay: Duration, to: Sender<T>, item: T) {
+    pub fn send_after(&self, delay: Duration, to: impl DeliverTo<T> + 'static, item: T) {
         self.send_after_class(delay, to, item, FlushClass::Deliver);
     }
 
     /// Deliver `item` to `to` after `delay` with an explicit flush class.
-    pub fn send_after_class(&self, delay: Duration, to: Sender<T>, item: T, class: FlushClass) {
+    pub fn send_after_class(
+        &self,
+        delay: Duration,
+        to: impl DeliverTo<T> + 'static,
+        item: T,
+        class: FlushClass,
+    ) {
         let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let _ = self.tx.send(Cmd::Enqueue(Delayed {
             due: Instant::now() + delay,
             seq,
-            to,
+            to: Box::new(to),
             item,
             class,
         }));
@@ -579,7 +687,7 @@ impl<T: Send + 'static> Drop for Delayer<T> {
 fn flush<T>(heap: &mut BinaryHeap<Reverse<Delayed<T>>>) {
     while let Some(Reverse(d)) = heap.pop() {
         if d.class == FlushClass::Deliver {
-            let _ = d.to.send(d.item);
+            d.to.deliver(d.item);
         }
     }
 }
@@ -608,7 +716,7 @@ fn delayer_loop<T>(rx: Receiver<Cmd<T>>) {
         let now = Instant::now();
         while heap.peek().map(|Reverse(d)| d.due <= now).unwrap_or(false) {
             let Reverse(d) = heap.pop().unwrap();
-            let _ = d.to.send(d.item);
+            d.to.deliver(d.item);
         }
     }
 }
@@ -746,7 +854,8 @@ mod tests {
         let delayer: Arc<Delayer<Wire>> = Arc::new(Delayer::spawn());
         let (tx_a, rx_a) = unbounded::<Wire>();
         let (tx_b, rx_b) = unbounded::<Wire>();
-        let senders = vec![tx_a, tx_b];
+        let net: Arc<Vec<Mailbox>> =
+            Arc::new(vec![Mailbox::Direct(tx_a), Mailbox::Direct(tx_b)]);
         let faults = NetFaults {
             seed: 42,
             drop: 0.3,
@@ -756,8 +865,8 @@ mod tests {
         };
         let start = Instant::now();
         let lat = Duration::from_millis(1);
-        let mut ta = Transport::new(a, faults.clone(), lat, start, delayer.clone(), senders.clone());
-        let mut tb = Transport::new(b, faults, lat, start, delayer.clone(), senders);
+        let mut ta = Transport::new(a, faults.clone(), lat, start, delayer.clone(), net.clone());
+        let mut tb = Transport::new(b, faults, lat, start, delayer.clone(), net);
         let n = 40u64;
         for i in 0..n {
             ta.send(

@@ -1,12 +1,20 @@
-//! The real-thread runtime: one OS thread per process, crossbeam channels
-//! as the network, and the same protocol core as the simulator.
+//! The real-thread runtime: process actors on OS threads, crossbeam
+//! channels as the network, and the same protocol core as the simulator.
 //!
-//! Inter-process parallelism is real (actors run concurrently on separate
-//! OS threads); the paper's intra-process left/right threads are logical
-//! threads multiplexed inside each actor, exactly as a single-core Mach
+//! Inter-process parallelism is real; the paper's intra-process
+//! left/right threads are logical threads multiplexed inside each actor
+//! ([`crate::core_poll::ProcessActor`]), exactly as a single-core Mach
 //! task would run them. Latency injection (the `net::Delayer`) recreates
 //! the distributed setting whose round trips call streaming hides — the
 //! E7 wall-clock benchmarks measure precisely that.
+//!
+//! How actors map onto OS threads is the executor's business
+//! ([`RtConfig::executor`], DESIGN.md §11): [`Executor::Threaded`] gives
+//! every process its own thread (the original shape, honest parallelism,
+//! caps at a few hundred processes); [`Executor::Sharded`] multiplexes
+//! 10k–100k processes over a fixed worker pool. Both run the identical
+//! protocol core, so their committed logs must agree — the differential
+//! in `tests/rt_executor.rs` holds them to that.
 //!
 //! All protocol traffic goes through the two-layer `net::Transport`
 //! (DESIGN.md §9): a seeded chaos layer (drops, duplicates, reordering,
@@ -23,17 +31,14 @@
 //! consecutive rounds — before halting the actors, so in-flight commit
 //! waves (and their retransmissions) always land.
 
-use crate::net::{Delayer, FlushClass, NetFaults, Payload, Transport, Wire};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use opcsp_core::{
-    ArrivalVerdict, CallId, Control, CoreConfig, DataKind, Envelope, GuessId, JoinDecision, MsgId,
-    ProcessCore, ProcessId, ProtoStats, Telemetry, TelemetryEvent, Value,
-};
-use opcsp_sim::{Behavior, BehaviorState, Effect, ObsKind, Observable, Resume};
-use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::core_poll::Report;
+use crate::executor::{self, Executor, Mode, Running, WorldSpec};
+use crate::net::{Delayer, NetFaults, Wire};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use opcsp_core::{CoreConfig, DataKind, ProcessId, ProtoStats, Telemetry, Value};
+use opcsp_sim::{Behavior, ObsKind, Observable};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Runtime configuration.
@@ -57,6 +62,11 @@ pub struct RtConfig {
     /// no-op, keeping the hot path within the telemetry-overhead bench
     /// gate. Timestamps are microseconds since run start.
     pub telemetry: bool,
+    /// How actors are scheduled onto OS threads. Defaults to the
+    /// `OPCSP_RT_EXECUTOR` env override (`threaded` | `sharded` |
+    /// `sharded:N`) if set — so CI can run every existing suite under the
+    /// sharded executor unmodified — else [`Executor::Threaded`].
+    pub executor: Executor,
 }
 
 impl Default for RtConfig {
@@ -70,6 +80,7 @@ impl Default for RtConfig {
             run_timeout: Duration::from_secs(30),
             faults: NetFaults::none(),
             telemetry: false,
+            executor: Executor::from_env().unwrap_or(Executor::Threaded),
         }
     }
 }
@@ -109,7 +120,7 @@ impl std::ops::DerefMut for RtStats {
 }
 
 impl RtStats {
-    fn merge(&mut self, o: &RtStats) {
+    pub(crate) fn merge(&mut self, o: &RtStats) {
         self.proto.merge(&o.proto);
         self.drops_injected += o.drops_injected;
         self.dups_injected += o.dups_injected;
@@ -118,7 +129,7 @@ impl RtStats {
         self.reorder_releases += o.reorder_releases;
     }
 
-    fn absorb_net(&mut self, n: crate::net::NetStats) {
+    pub(crate) fn absorb_net(&mut self, n: crate::net::NetStats) {
         self.drops_injected += n.drops_injected;
         self.dups_injected += n.dups_injected;
         self.retransmits += n.retransmits;
@@ -139,9 +150,9 @@ pub struct RtResult {
     /// True if the run hit `run_timeout` before the clients finished (or
     /// before the post-completion network drain reached quiescence).
     pub timed_out: bool,
-    /// Actors whose thread panicked (in pid order).
+    /// Actors that panicked (in pid order).
     pub panicked: Vec<ProcessId>,
-    /// Panic payloads recovered from the panicked actors' `join()`.
+    /// Panic payloads recovered from the panicked actors.
     pub panics: BTreeMap<ProcessId, String>,
     /// Actors still running when the join deadline expired; their threads
     /// are detached and their logs/stats are missing from this result.
@@ -152,33 +163,11 @@ pub struct RtResult {
     pub telemetry: Telemetry,
 }
 
-enum Report {
-    ClientDone(ProcessId),
-    /// Answer to a `Wire::Probe`: the actor's transport counters at probe
-    /// time — (messages originated, messages released, frames unacked).
-    Quiet {
-        pid: ProcessId,
-        round: u64,
-        sent: u64,
-        delivered: u64,
-        unacked: u64,
-    },
-    Final(Box<FinalReport>),
-}
-
-struct FinalReport {
-    pid: ProcessId,
-    stats: RtStats,
-    log: Vec<Observable>,
-    external: Vec<Value>,
-    events: Vec<TelemetryEvent>,
-}
-
 /// Builder/handle for a runtime world.
 pub struct RtWorld {
     cfg: RtConfig,
     behaviors: Vec<Arc<dyn Behavior>>,
-    clients: Vec<ProcessId>,
+    is_client: Vec<bool>,
 }
 
 impl RtWorld {
@@ -186,18 +175,25 @@ impl RtWorld {
         RtWorld {
             cfg,
             behaviors: Vec::new(),
-            clients: Vec::new(),
+            is_client: Vec::new(),
         }
     }
 
     /// Register a process. `is_client` marks processes whose program
     /// completion (plus guess resolution) signals the end of the run.
     pub fn add_process(&mut self, b: impl Behavior + 'static, is_client: bool) -> ProcessId {
+        self.add_process_arc(Arc::new(b), is_client)
+    }
+
+    /// Register a pre-shared behavior. Huge worlds register one
+    /// `Arc<dyn Behavior>` template for thousands of identical processes:
+    /// registration is then O(1) per process (a pointer clone), and the
+    /// sharded executor constructs actor state lazily inside the owning
+    /// worker — no O(N) coordinator-side allocation spike.
+    pub fn add_process_arc(&mut self, b: Arc<dyn Behavior>, is_client: bool) -> ProcessId {
         let id = ProcessId(self.behaviors.len() as u32);
-        self.behaviors.push(Arc::new(b));
-        if is_client {
-            self.clients.push(id);
-        }
+        self.behaviors.push(b);
+        self.is_client.push(is_client);
         id
     }
 
@@ -205,83 +201,50 @@ impl RtWorld {
     /// timeout.
     pub fn run(self) -> RtResult {
         let n = self.behaviors.len();
+        let cfg = Arc::new(self.cfg);
         let delayer: Arc<Delayer<Wire>> = Arc::new(Delayer::spawn());
-        let msg_ids = Arc::new(AtomicU64::new(0));
-        let call_ids = Arc::new(AtomicU64::new(0));
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded::<Wire>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
         let (report_tx, report_rx) = unbounded::<Report>();
+        let clients: Vec<ProcessId> = self
+            .is_client
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c)
+            .map(|(i, _)| ProcessId(i as u32))
+            .collect();
 
         let start = Instant::now();
-        let mut handles = Vec::with_capacity(n);
-        for (i, (behavior, rx)) in self.behaviors.into_iter().zip(receivers).enumerate() {
-            let pid = ProcessId(i as u32);
-            let actor = Actor {
-                pid,
-                behavior,
-                cfg: self.cfg.clone(),
-                transport: Transport::new(
-                    pid,
-                    self.cfg.faults.clone(),
-                    self.cfg.latency,
-                    start,
-                    delayer.clone(),
-                    senders.clone(),
-                ),
-                self_sender: senders[i].clone(),
-                delayer: delayer.clone(),
-                inbox: rx,
-                report: report_tx.clone(),
-                core: ProcessCore::new(pid, self.cfg.core.clone()),
-                threads: BTreeMap::new(),
-                pool: Vec::new(),
-                ready: VecDeque::new(),
-                stats: RtStats::default(),
-                guesses: BTreeMap::new(),
-                external: Vec::new(),
-                done_reported: false,
-                is_client: self.clients.contains(&pid),
-                relayed: std::collections::BTreeSet::new(),
-                tele: Telemetry::new(self.cfg.telemetry),
-                start,
-            };
-            let mids = msg_ids.clone();
-            let cids = call_ids.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("opcsp-rt-{i}"))
-                    .spawn(move || actor.run(mids, cids))
-                    .expect("spawn actor"),
-            );
-        }
-        drop(report_tx);
+        let world = executor::spawn_world(WorldSpec {
+            behaviors: self.behaviors,
+            is_client: self.is_client,
+            cfg: cfg.clone(),
+            delayer: delayer.clone(),
+            report: report_tx,
+            start,
+        });
+        let mut coord = Coord {
+            rx: report_rx,
+            panics: BTreeMap::new(),
+            dead: BTreeSet::new(),
+        };
 
-        // Phase 1 — wait for every client to finish. `Disconnected` means
-        // every actor thread exited (all report senders dropped): that is
-        // a panic wave, not a timeout, and is reported as such.
-        let mut waiting: Vec<ProcessId> = self.clients.clone();
-        let deadline = start + self.cfg.run_timeout;
+        // Phase 1 — wait for every client to finish. `AllExited` means
+        // every executor thread exited (all report senders dropped): that
+        // is a panic wave, not a timeout, and is reported as such.
+        let deadline = start + cfg.run_timeout;
+        let mut waiting: BTreeSet<ProcessId> = clients.into_iter().collect();
         let mut timed_out = false;
         let mut all_dead = false;
         while !waiting.is_empty() {
-            let left = deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
-                timed_out = true;
-                break;
-            }
-            match report_rx.recv_timeout(left) {
-                Ok(Report::ClientDone(pid)) => waiting.retain(|p| *p != pid),
-                Ok(_) => {}
-                Err(RecvTimeoutError::Timeout) => {
+            match coord.recv_deadline(deadline) {
+                Step::Got(Report::ClientDone(pid)) => {
+                    waiting.remove(&pid);
+                }
+                Step::Got(_) => {}
+                Step::DeadlineHit => {
                     timed_out = true;
                     break;
                 }
-                Err(RecvTimeoutError::Disconnected) => {
+                Step::AllExited => {
                     all_dead = true;
                     break;
                 }
@@ -292,35 +255,29 @@ impl RtWorld {
         // in-flight commit waves (and, under chaos, their retransmissions)
         // must land, or server committed logs get truncated. A fixed grace
         // sleep cannot bound that; probe rounds can.
-        if !timed_out && !all_dead {
-            let drained = drain_to_quiescence(&senders, &report_rx, &handles, deadline);
-            if !drained {
-                timed_out = true;
-            }
+        if !timed_out && !all_dead && !drain_to_quiescence(&world, &mut coord, deadline) {
+            timed_out = true;
         }
 
-        for s in &senders {
-            let _ = s.send(Wire::Shutdown);
+        for mb in world.net.iter() {
+            let _ = mb.send(Wire::Shutdown);
         }
 
         // Phase 3 — collect final reports, bounded by a deadline derived
         // from `run_timeout` (a stuck actor must not hang the harness).
-        let join_budget = (self.cfg.run_timeout / 8)
+        // Dead (panicked) actors never report a final.
+        let join_budget = (cfg.run_timeout / 8)
             .max(Duration::from_millis(100))
             .min(Duration::from_secs(5));
         let collect_deadline = Instant::now() + join_budget;
         let mut stats = RtStats::default();
         let mut logs = BTreeMap::new();
         let mut external = Vec::new();
-        let mut telemetry = Telemetry::new(self.cfg.telemetry);
+        let mut telemetry = Telemetry::new(cfg.telemetry);
         let mut finals = 0;
-        while finals < n {
-            let left = collect_deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
-                break;
-            }
-            match report_rx.recv_timeout(left) {
-                Ok(Report::Final(f)) => {
+        while finals < n - coord.dead.len() {
+            match coord.recv_deadline(collect_deadline) {
+                Step::Got(Report::Final(f)) => {
                     stats.merge(&f.stats);
                     logs.insert(f.pid, f.log);
                     for v in f.external {
@@ -329,30 +286,55 @@ impl RtWorld {
                     telemetry.absorb(f.events);
                     finals += 1;
                 }
-                Ok(_) => {}
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
+                Step::Got(_) => {}
+                Step::DeadlineHit | Step::AllExited => break,
             }
         }
 
-        // Phase 4 — join with the same deadline; report stragglers instead
-        // of deadlocking, and propagate panic payloads.
-        let mut panicked = Vec::new();
-        let mut panics = BTreeMap::new();
+        // Phase 4 — join executor threads with the same deadline; report
+        // stragglers instead of deadlocking, and attribute panics.
         let mut stragglers = Vec::new();
-        for (i, h) in handles.into_iter().enumerate() {
-            let pid = ProcessId(i as u32);
-            while !h.is_finished() && Instant::now() < collect_deadline {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            if h.is_finished() {
-                if let Err(payload) = h.join() {
-                    panicked.push(pid);
-                    panics.insert(pid, panic_message(payload.as_ref()));
+        match world.mode {
+            Mode::Threaded(handles) => {
+                // Thread-per-process: a panic is discovered at join (the
+                // thread died), a straggler is a thread still running.
+                for (i, h) in handles.into_iter().enumerate() {
+                    let pid = ProcessId(i as u32);
+                    while !h.is_finished() && Instant::now() < collect_deadline {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    if h.is_finished() {
+                        if let Err(payload) = h.join() {
+                            coord.dead.insert(pid);
+                            coord
+                                .panics
+                                .insert(pid, executor::panic_message(payload.as_ref()));
+                        }
+                    } else {
+                        // Detach: the thread leaks, but the harness survives.
+                        stragglers.push(pid);
+                    }
                 }
-            } else {
-                // Detach: the thread leaks, but the harness survives.
-                stragglers.push(pid);
+            }
+            Mode::Sharded(workers) => {
+                // Workers caught per-actor panics and reported them (all
+                // absorbed into `coord` by now). A wedged worker is
+                // detached; every actor it still owned — no final report,
+                // no reported panic — is a straggler.
+                for h in workers {
+                    while !h.is_finished() && Instant::now() < collect_deadline {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    if h.is_finished() {
+                        let _ = h.join();
+                    }
+                }
+                for i in 0..n {
+                    let pid = ProcessId(i as u32);
+                    if !logs.contains_key(&pid) && !coord.dead.contains(&pid) {
+                        stragglers.push(pid);
+                    }
+                }
             }
         }
         let wall = start.elapsed();
@@ -362,22 +344,53 @@ impl RtWorld {
             logs,
             external,
             timed_out,
-            panicked,
-            panics,
+            panicked: coord.dead.into_iter().collect(),
+            panics: coord.panics,
             stragglers,
             telemetry,
         }
     }
 }
 
-/// Extract a human-readable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_string()
+/// Coordinator-side receive state: one deadline-driven helper shared by
+/// every phase (client wait, drain rounds, final collection), so they all
+/// derive the remaining timeout identically and none can spin on a
+/// zero-duration `recv_timeout` near the deadline. `Panicked` reports are
+/// absorbed here — every phase learns about actor deaths the same way.
+struct Coord {
+    rx: Receiver<Report>,
+    /// Panic payloads, attributed to pids.
+    panics: BTreeMap<ProcessId, String>,
+    /// Actors known dead (panicked): they answer no probe and send no
+    /// final report.
+    dead: BTreeSet<ProcessId>,
+}
+
+enum Step {
+    /// A report other than `Panicked` (those are absorbed into `Coord`).
+    Got(Report),
+    DeadlineHit,
+    /// Every executor thread exited and dropped its report sender.
+    AllExited,
+}
+
+impl Coord {
+    fn recv_deadline(&mut self, deadline: Instant) -> Step {
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Step::DeadlineHit;
+            }
+            match self.rx.recv_timeout(left) {
+                Ok(Report::Panicked { pid, msg }) => {
+                    self.dead.insert(pid);
+                    self.panics.insert(pid, msg);
+                }
+                Ok(r) => return Step::Got(r),
+                Err(RecvTimeoutError::Timeout) => return Step::DeadlineHit,
+                Err(RecvTimeoutError::Disconnected) => return Step::AllExited,
+            }
+        }
     }
 }
 
@@ -386,12 +399,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// moved between two consecutive complete rounds — i.e. nothing is in
 /// flight and nothing happened, anywhere, between the two snapshots.
 /// Returns false if `deadline` expires first.
-fn drain_to_quiescence(
-    senders: &[Sender<Wire>],
-    report_rx: &Receiver<Report>,
-    handles: &[JoinHandle<()>],
-    deadline: Instant,
-) -> bool {
+fn drain_to_quiescence(world: &Running, coord: &mut Coord, deadline: Instant) -> bool {
     let mut prev: Option<Vec<(ProcessId, u64, u64)>> = None;
     let mut round: u64 = 0;
     loop {
@@ -399,28 +407,19 @@ fn drain_to_quiescence(
             return false;
         }
         round += 1;
-        let live: Vec<usize> = handles
-            .iter()
-            .enumerate()
-            .filter(|(_, h)| !h.is_finished())
-            .map(|(i, _)| i)
-            .collect();
+        let live = world.live_pids(&coord.dead);
         if live.is_empty() {
             // Everyone already exited (panic wave): nothing left to drain.
             return true;
         }
         for i in &live {
-            let _ = senders[*i].send(Wire::Probe(round));
+            let _ = world.net[*i].send(Wire::Probe(round));
         }
         let mut replies: BTreeMap<ProcessId, (u64, u64, u64)> = BTreeMap::new();
         let round_deadline = (Instant::now() + Duration::from_millis(200)).min(deadline);
         while replies.len() < live.len() {
-            let left = round_deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
-                break;
-            }
-            match report_rx.recv_timeout(left) {
-                Ok(Report::Quiet {
+            match coord.recv_deadline(round_deadline) {
+                Step::Got(Report::Quiet {
                     pid,
                     round: r,
                     sent,
@@ -429,12 +428,18 @@ fn drain_to_quiescence(
                 }) if r == round => {
                     replies.insert(pid, (sent, delivered, unacked));
                 }
-                Ok(_) => {}
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => return true,
+                Step::Got(_) => {}
+                Step::DeadlineHit => break,
+                Step::AllExited => return true,
             }
         }
-        let complete = replies.len() == live.len();
+        // Re-derive liveness: an actor that died mid-round must not block
+        // completeness forever.
+        let live_now = world.live_pids(&coord.dead);
+        let complete = !live_now.is_empty()
+            && live_now
+                .iter()
+                .all(|i| replies.contains_key(&ProcessId(*i as u32)));
         let unacked: u64 = replies.values().map(|v| v.2).sum();
         let counters: Vec<(ProcessId, u64, u64)> =
             replies.iter().map(|(p, v)| (*p, v.0, v.1)).collect();
@@ -446,858 +451,57 @@ fn drain_to_quiescence(
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Status {
-    Ready,
-    BlockedRecv,
-    BlockedCall(CallId),
-    AwaitingJoin,
-    Done,
-}
-
-#[derive(Clone)]
-struct Checkpoint {
-    state: BehaviorState,
-    status: Status,
-    consumed_len: usize,
-    oblog_len: usize,
-    out_buf_len: usize,
-    call_stack: Vec<(ProcessId, CallId, opcsp_core::Label)>,
-    fork_guess: Option<GuessId>,
-    /// Behavior steps the thread had executed at this boundary, for
-    /// wasted-work telemetry on rollback.
-    steps_len: u64,
-}
-
-struct RtThread {
-    state: BehaviorState,
-    status: Status,
-    checkpoints: Vec<Checkpoint>,
-    consumed: Vec<(u32, Envelope)>,
-    oblog: Vec<Observable>,
-    out_buf: Vec<Value>,
-    call_stack: Vec<(ProcessId, CallId, opcsp_core::Label)>,
-    fork_guess: Option<GuessId>,
-    /// Behavior steps executed by this thread (monotone except for
-    /// rollback truncation).
-    steps: u64,
-}
-
-impl RtThread {
-    fn new(state: BehaviorState) -> Self {
-        let chk = Checkpoint {
-            state: state.clone(),
-            status: Status::Ready,
-            consumed_len: 0,
-            oblog_len: 0,
-            out_buf_len: 0,
-            call_stack: Vec::new(),
-            fork_guess: None,
-            steps_len: 0,
-        };
-        RtThread {
-            state,
-            status: Status::Ready,
-            checkpoints: vec![chk],
-            consumed: Vec::new(),
-            oblog: Vec::new(),
-            out_buf: Vec::new(),
-            call_stack: Vec::new(),
-            fork_guess: None,
-            steps: 0,
-        }
+/// Theorem-1 merge-order equivalence for two committed rt logs: the
+/// reliable sublayer guarantees FIFO *per link*, so the projection of
+/// receives onto each sender (and of sends onto each target) must match
+/// positionally, but cross-sender interleaving at a fan-in is legal CSP
+/// nondeterminism — chaos (or a different executor's scheduling) may
+/// reorder it. Outputs are compared as multisets (they follow the merge).
+/// Shared by the `opcsp-run --rt --compare` oracle and the executor
+/// differential tests.
+pub fn merge_equiv(base: &[Observable], other: &[Observable]) -> bool {
+    use Observable as O;
+    if base.len() != other.len() {
+        return false;
     }
-}
-
-struct Actor {
-    pid: ProcessId,
-    behavior: Arc<dyn Behavior>,
-    cfg: RtConfig,
-    /// Reliable-delivery endpoint: all data/control traffic goes through
-    /// it (and through the chaos layer underneath).
-    transport: Transport,
-    /// Our own inbox sender, for self-addressed timers and ticks.
-    self_sender: Sender<Wire>,
-    delayer: Arc<Delayer<Wire>>,
-    inbox: Receiver<Wire>,
-    report: Sender<Report>,
-    core: ProcessCore,
-    threads: BTreeMap<u32, RtThread>,
-    pool: Vec<Envelope>,
-    /// (thread, resume) work items to run, in FIFO order (preserves the
-    /// program's send order across fork chains).
-    ready: VecDeque<(u32, Resume)>,
-    stats: RtStats,
-    guesses: BTreeMap<GuessId, Vec<(String, Value)>>,
-    external: Vec<Value>,
-    done_reported: bool,
-    is_client: bool,
-    /// Targeted dissemination dedup (kind, guess).
-    relayed: std::collections::BTreeSet<(u8, GuessId)>,
-    /// Lifecycle event sink (`core::telemetry`); disabled unless
-    /// [`RtConfig::telemetry`] is set.
-    tele: Telemetry,
-    /// Shared run epoch: telemetry timestamps are µs since this instant.
-    start: Instant,
-}
-
-impl Actor {
-    fn run(mut self, msg_ids: Arc<AtomicU64>, call_ids: Arc<AtomicU64>) {
-        self.threads.insert(0, RtThread::new(self.behavior.init()));
-        self.ready.push_back((0, Resume::Start));
-        self.pump(&msg_ids, &call_ids);
-        self.schedule_tick();
-        loop {
-            match self.inbox.recv() {
-                Ok(Wire::Shutdown) | Err(_) => break,
-                Ok(Wire::Frame(f)) => {
-                    for p in self.transport.on_frame(f) {
-                        match p {
-                            Payload::Data(env) => self.on_data(env),
-                            Payload::Ctrl(ctrl) => self.on_ctrl(ctrl),
-                        }
-                    }
-                }
-                Ok(Wire::Timer(g)) => self.on_timer(g),
-                Ok(Wire::Tick) => {
-                    self.transport.tick();
-                    self.schedule_tick();
-                }
-                Ok(Wire::Probe(round)) => {
-                    // Retransmit anything overdue and flush owed acks so
-                    // the drain converges quickly, then report.
-                    self.transport.tick();
-                    let (sent, delivered, unacked) = self.transport.quiet_probe();
-                    let _ = self.report.send(Report::Quiet {
-                        pid: self.pid,
-                        round,
-                        sent,
-                        delivered,
-                        unacked,
-                    });
-                }
-            }
-            self.pump(&msg_ids, &call_ids);
-            self.maybe_report_done();
-        }
-        let log: Vec<Observable> = self
-            .threads
-            .values()
-            .flat_map(|t| t.oblog.iter().cloned())
-            .collect();
-        self.stats.wire.merge(self.core.wire_stats());
-        self.stats.interner.merge(self.core.interner_full_stats());
-        self.stats.absorb_net(self.transport.stats);
-        self.sync_tele();
-        let _ = self.report.send(Report::Final(Box::new(FinalReport {
-            pid: self.pid,
-            stats: self.stats.clone(),
-            log,
-            external: std::mem::take(&mut self.external),
-            events: std::mem::take(&mut self.tele.events),
-        })));
-    }
-
-    /// Microseconds since the shared run epoch — the telemetry timebase.
-    fn now_us(&self) -> u64 {
-        self.start.elapsed().as_micros() as u64
-    }
-
-    /// Emit `Resolved` telemetry for resolutions the core recorded since
-    /// the last sync (cursor-idempotent, no-op when disabled).
-    fn sync_tele(&mut self) {
-        if self.tele.enabled() {
-            let t = self.now_us();
-            self.tele.sync_resolutions(t, self.pid, &self.core.resolutions);
-        }
-    }
-
-    fn maybe_report_done(&mut self) {
-        if self.done_reported || !self.is_client {
-            return;
-        }
-        let program_done = self
-            .threads
-            .values()
-            .all(|t| matches!(t.status, Status::Done));
-        if program_done && self.core.pending_own_guesses() == 0 {
-            self.done_reported = true;
-            let _ = self.report.send(Report::ClientDone(self.pid));
-        }
-    }
-
-    /// Run every ready (thread, resume) item until quiescence.
-    fn pump(&mut self, msg_ids: &Arc<AtomicU64>, call_ids: &Arc<AtomicU64>) {
-        while let Some((tid, resume)) = self.ready.pop_front() {
-            let Some(th) = self.threads.get_mut(&tid) else {
-                continue;
-            };
-            if th.status == Status::Done {
-                continue;
-            }
-            th.status = Status::Ready;
-            th.steps += 1;
-            let behavior = self.behavior.clone();
-            let effect = behavior.step(&mut th.state, resume);
-            self.handle_effect(tid, effect, msg_ids, call_ids);
-        }
-    }
-
-    fn handle_effect(
-        &mut self,
-        tid: u32,
-        effect: Effect,
-        msg_ids: &Arc<AtomicU64>,
-        call_ids: &Arc<AtomicU64>,
-    ) {
-        match effect {
-            Effect::Compute { cost } => {
-                if !self.cfg.compute_unit.is_zero() && cost > 0 {
-                    std::thread::sleep(self.cfg.compute_unit * cost as u32);
-                }
-                self.ready.push_back((tid, Resume::Continue));
-            }
-            Effect::Send { to, payload, label } => {
-                self.send_data(tid, to, DataKind::Send, payload, label, msg_ids);
-                self.ready.push_back((tid, Resume::Continue));
-            }
-            Effect::Call { to, payload, label } => {
-                let cid = CallId(call_ids.fetch_add(1, Ordering::Relaxed));
-                self.send_data(tid, to, DataKind::Call(cid), payload, label, msg_ids);
-                self.threads.get_mut(&tid).unwrap().status = Status::BlockedCall(cid);
-                self.try_deliver();
-            }
-            Effect::Reply { payload, label } => {
-                let th = self.threads.get_mut(&tid).unwrap();
-                let (to, cid, call_label) =
-                    th.call_stack.pop().expect("Reply with no call in service");
-                let label = if label.is_empty() {
-                    opcsp_sim::reply_label(&call_label)
-                } else {
-                    label
-                };
-                self.send_data(tid, to, DataKind::Return(cid), payload, label, msg_ids);
-                self.ready.push_back((tid, Resume::Continue));
-            }
-            Effect::Receive => {
-                self.threads.get_mut(&tid).unwrap().status = Status::BlockedRecv;
-                self.try_deliver();
-            }
-            Effect::External { payload } => {
-                let guard_empty = self
-                    .core
-                    .threads
-                    .get(&tid)
-                    .map(|m| m.guard.is_empty())
-                    .unwrap_or(true);
-                let th = self.threads.get_mut(&tid).unwrap();
-                th.oblog.push(Observable::Output {
-                    payload: payload.clone(),
-                });
-                if guard_empty {
-                    self.external.push(payload);
-                } else {
-                    th.out_buf.push(payload);
-                }
-                self.ready.push_back((tid, Resume::Continue));
-            }
-            Effect::CallThenFork {
-                to,
-                payload,
-                label,
-                site,
-                guesses,
-            } => {
-                let cid = CallId(call_ids.fetch_add(1, Ordering::Relaxed));
-                self.send_data(tid, to, DataKind::Call(cid), payload, label, msg_ids);
-                let optimistic = self.cfg.optimism && self.core.may_fork_optimistically(site);
-                if optimistic {
-                    let rec = self.core.fork(tid, site);
-                    self.stats.forks += 1;
-                    self.tele.record(TelemetryEvent::Fork {
-                        t: self.start.elapsed().as_micros() as u64,
-                        guess: rec.guess,
-                        site,
-                        left: tid,
-                        right: rec.right_thread,
-                    });
-                    let left = self.threads.get_mut(&tid).unwrap();
-                    left.fork_guess = Some(rec.guess);
-                    left.status = Status::BlockedCall(cid);
-                    let mut right = RtThread::new(left.state.clone());
-                    right.call_stack = left.call_stack.clone();
-                    right.checkpoints[0].call_stack = right.call_stack.clone();
-                    self.threads.insert(rec.right_thread, right);
-                    self.guesses.insert(rec.guess, guesses.clone());
-                    self.ready
-                        .push_back((rec.right_thread, Resume::ForkRight { guesses }));
-                    self.schedule_fork_timer(rec.guess);
-                } else {
-                    self.threads.get_mut(&tid).unwrap().status = Status::BlockedCall(cid);
-                }
-                self.try_deliver();
-            }
-            Effect::Fork { site, guesses } => {
-                let optimistic = self.cfg.optimism && self.core.may_fork_optimistically(site);
-                if !optimistic {
-                    self.ready.push_back((tid, Resume::ForkDenied));
-                    return;
-                }
-                let rec = self.core.fork(tid, site);
-                self.stats.forks += 1;
-                self.tele.record(TelemetryEvent::Fork {
-                    t: self.start.elapsed().as_micros() as u64,
-                    guess: rec.guess,
-                    site,
-                    left: tid,
-                    right: rec.right_thread,
-                });
-                let left = self.threads.get_mut(&tid).unwrap();
-                left.fork_guess = Some(rec.guess);
-                let mut right = RtThread::new(left.state.clone());
-                right.call_stack = left.call_stack.clone();
-                right.checkpoints[0].call_stack = right.call_stack.clone();
-                self.threads.insert(rec.right_thread, right);
-                self.guesses.insert(rec.guess, guesses.clone());
-                self.ready.push_back((tid, Resume::ForkLeft));
-                self.ready
-                    .push_back((rec.right_thread, Resume::ForkRight { guesses }));
-                // Timer comes back through our own inbox.
-                self.schedule_fork_timer(rec.guess);
-            }
-            Effect::JoinLeft { actual } => self.handle_join(tid, actual),
-            Effect::Done => {
-                let th = self.threads.get_mut(&tid).unwrap();
-                th.status = Status::Done;
-                if let Some(meta) = self.core.threads.get_mut(&tid) {
-                    if meta.guard.is_empty() {
-                        meta.phase = opcsp_core::ThreadPhase::Done;
-                    }
-                }
-            }
-        }
-    }
-
-    fn send_data(
-        &mut self,
-        tid: u32,
-        to: ProcessId,
-        kind: DataKind,
-        payload: Value,
-        label: String,
-        msg_ids: &Arc<AtomicU64>,
-    ) {
-        let tag = self.core.encode_for_send(tid, to);
-        let env = Envelope {
-            id: MsgId(msg_ids.fetch_add(1, Ordering::Relaxed)),
-            from: self.pid,
-            from_thread: tid,
-            to,
-            guard: tag.wire,
-            table_acks: tag.acks,
-            kind,
-            payload: payload.clone(),
-            label: label.into(),
-            // The threaded runtime's channels are FIFO by construction;
-            // link sequence numbers only matter to the simulator's
-            // forensics, which replays draws by (link, seq) address.
-            link_seq: 0,
-        };
-        self.stats.data_messages += 1;
-        self.stats.guard_bytes += env.guard.wire_size() as u64;
-        if let opcsp_core::WireGuard::Compact { rows, .. } = &env.guard {
-            self.stats.table_bytes += (rows.len() * opcsp_core::TableRow::WIRE_BYTES) as u64;
-        }
-        self.stats.table_bytes +=
-            (env.table_acks.len() * opcsp_core::TableRow::WIRE_BYTES) as u64;
-        self.core.note_send(&tag.full, to);
-        let th = self.threads.get_mut(&tid).unwrap();
-        th.oblog.push(Observable::Sent {
-            to,
-            kind: env.kind.into(),
-            payload,
-        });
-        self.transport.send(to, Payload::Data(env));
-    }
-
-    /// Fork timers and transport ticks are self-addressed through the
-    /// delayer and tagged [`FlushClass::DropOnFlush`]: a teardown flush
-    /// must not fire a far-future fork timeout early (spurious aborts).
-    fn schedule_fork_timer(&self, guess: GuessId) {
-        self.delayer.send_after_class(
-            self.cfg.fork_timeout,
-            self.self_sender.clone(),
-            Wire::Timer(guess),
-            FlushClass::DropOnFlush,
-        );
-    }
-
-    fn schedule_tick(&self) {
-        self.delayer.send_after_class(
-            self.transport.tick_interval(),
-            self.self_sender.clone(),
-            Wire::Tick,
-            FlushClass::DropOnFlush,
-        );
-    }
-
-    fn ctrl_kind(ctrl: &Control) -> u8 {
-        match ctrl {
-            Control::Commit(_) => 0,
-            Control::Abort(_) => 1,
-            Control::Precedence(..) => 2,
-        }
-    }
-
-    /// Disseminate a control message: broadcast, or (with
-    /// `targeted_control`) to recorded dependents plus — for PRECEDENCE —
-    /// the guard members' owners; receivers relay onward (§4.2.5).
-    fn broadcast(&mut self, ctrl: Control) {
-        self.relayed
-            .insert((Self::ctrl_kind(&ctrl), ctrl.subject()));
-        let targets: Vec<usize> = if self.cfg.core.targeted_control {
-            let mut t = self.core.dependents_of(ctrl.subject());
-            if let Control::Precedence(_, guard) = &ctrl {
-                for p in guard.member_processes() {
-                    if p != self.pid {
-                        t.insert(p);
-                    }
-                }
-            }
-            t.into_iter().map(|p| p.0 as usize).collect()
-        } else {
-            (0..self.transport.n_processes())
-                .filter(|i| *i != self.pid.0 as usize)
+    let peers: BTreeSet<ProcessId> = base
+        .iter()
+        .chain(other)
+        .filter_map(|o| match o {
+            O::Received { from, .. } => Some(*from),
+            O::Sent { to, .. } => Some(*to),
+            _ => None,
+        })
+        .collect();
+    for peer in peers {
+        let recv = |log: &[Observable]| -> Vec<Observable> {
+            log.iter()
+                .filter(|o| matches!(o, O::Received { from, .. } if *from == peer))
+                .cloned()
                 .collect()
         };
-        for i in targets {
-            self.stats.control_messages += 1;
-            self.transport
-                .send(ProcessId(i as u32), Payload::Ctrl(ctrl.clone()));
-        }
-    }
-
-    /// Cooperative relay for targeted dissemination (once per message).
-    fn relay_control(&mut self, ctrl: &Control) {
-        if !self.cfg.core.targeted_control {
-            return;
-        }
-        let key = (Self::ctrl_kind(ctrl), ctrl.subject());
-        if !self.relayed.insert(key) {
-            return;
-        }
-        let targets: Vec<usize> = self
-            .core
-            .dependents_of(ctrl.subject())
-            .into_iter()
-            .map(|p| p.0 as usize)
-            .collect();
-        for i in targets {
-            self.stats.control_messages += 1;
-            self.transport
-                .send(ProcessId(i as u32), Payload::Ctrl(ctrl.clone()));
-        }
-    }
-
-    // ------------------------------------------------------------------
-
-    fn on_data(&mut self, mut env: Envelope) {
-        // First classification ingests the wire tag (acks drained, rows
-        // merged, compact guard decoded in place); the pooled
-        // re-classification in `try_deliver`/`purge_pool` is a pure
-        // re-check (pinned by `double_classification_of_pooled_envelope_
-        // is_idempotent` in opcsp-core). An orphaned envelope is dropped
-        // at the site that counts it, so `stats.orphans` sees each
-        // envelope at most once per pooling.
-        match self.core.classify_arrival(&mut env) {
-            ArrivalVerdict::Orphan(g) => {
-                self.stats.orphans += 1;
-                self.record_orphan(env.id, g);
-                return;
-            }
-            ArrivalVerdict::Ok => {}
-        }
-        if let DataKind::Return(cid) = env.kind {
-            let waiter = self
-                .threads
-                .iter()
-                .find(|(_, t)| t.status == Status::BlockedCall(cid))
-                .map(|(id, _)| *id);
-            if let Some(w) = waiter {
-                if let Some(doomed) = self.core.return_depends_on_future(w, &env) {
-                    let eff = self.core.on_abort(doomed);
-                    self.apply_abort_effects(eff, Some(doomed));
-                }
-            }
-        }
-        self.pool.push(env);
-        self.try_deliver();
-    }
-
-    fn record_orphan(&mut self, msg: MsgId, guess: GuessId) {
-        if self.tele.enabled() {
-            let t = self.now_us();
-            self.tele.record(TelemetryEvent::Orphan {
-                t,
-                process: self.pid,
-                msg,
-                guess,
-            });
-        }
-    }
-
-    fn try_deliver(&mut self) {
-        loop {
-            let Some((tid, idx)) = self.pick_delivery() else {
-                return;
-            };
-            let mut env = self.pool.remove(idx);
-            if let ArrivalVerdict::Orphan(g) = self.core.classify_arrival(&mut env) {
-                self.stats.orphans += 1;
-                self.record_orphan(env.id, g);
-                continue;
-            }
-            self.deliver_to(tid, env);
-        }
-    }
-
-    fn pick_delivery(&mut self) -> Option<(u32, usize)> {
-        if self.pool.is_empty() {
-            return None;
-        }
-        for (tid, th) in &self.threads {
-            if let Status::BlockedCall(cid) = th.status {
-                if let Some(i) = self
-                    .pool
-                    .iter()
-                    .position(|m| m.kind == DataKind::Return(cid))
-                {
-                    return Some((*tid, i));
-                }
-            }
-        }
-        for (tid, th) in &self.threads {
-            if th.status != Status::BlockedRecv {
-                continue;
-            }
-            // Withhold messages that depend on one of our own *live*
-            // future guesses (§4.2.3). The liveness-based core check
-            // also catches stale-incarnation guesses surviving in the
-            // pool across an incarnation bump — an incarnation-equality
-            // filter here once let those through prematurely (pinned by
-            // `stale_incarnation_guess_still_withheld_from_earlier_thread`
-            // in opcsp-core).
-            let candidates: Vec<(usize, &Envelope)> = self
-                .pool
-                .iter()
-                .enumerate()
-                .filter(|(_, m)| {
-                    !m.kind.is_return()
-                        && self.core.guard_depends_on_future(*tid, m.guard()).is_none()
-                })
-                .collect();
-            if candidates.is_empty() {
-                continue;
-            }
-            let envs: Vec<&Envelope> = candidates.iter().map(|(_, e)| *e).collect();
-            if let Some(k) = self.core.choose_delivery(*tid, &envs) {
-                return Some((*tid, candidates[k].0));
-            }
-        }
-        None
-    }
-
-    fn deliver_to(&mut self, tid: u32, env: Envelope) {
-        let new_deps = self.core.live_new_guard_count(tid, env.guard());
-        let introduces = new_deps > 0;
-        if introduces {
-            let th = self.threads.get_mut(&tid).unwrap();
-            th.checkpoints.push(Checkpoint {
-                state: th.state.clone(),
-                status: th.status,
-                consumed_len: th.consumed.len(),
-                oblog_len: th.oblog.len(),
-                out_buf_len: th.out_buf.len(),
-                call_stack: th.call_stack.clone(),
-                fork_guess: th.fork_guess,
-                steps_len: th.steps,
-            });
-        }
-        if self.tele.enabled() {
-            let t = self.now_us();
-            self.tele.record(TelemetryEvent::Deliver {
-                t,
-                process: self.pid,
-                thread: tid,
-                msg: env.id,
-                new_deps: new_deps as u32,
-            });
-        }
-        let _ = self.core.deliver(tid, &env);
-        let interval = self.core.threads[&tid].interval;
-        let th = self.threads.get_mut(&tid).unwrap();
-        th.consumed.push((interval, env.clone()));
-        th.oblog.push(Observable::Received {
-            from: env.from,
-            kind: env.kind.into(),
-            payload: env.payload.clone(),
-        });
-        if let DataKind::Call(cid) = env.kind {
-            th.call_stack.push((env.from, cid, env.label.clone()));
-        }
-        // The resume is queued: the thread is no longer waiting, so a
-        // second message released in the same transport batch must not be
-        // delivered to it before `pump` runs. (The checkpoint above keeps
-        // the *blocked* status, so rollback re-opens the receive.)
-        th.status = Status::Ready;
-        self.ready.push_back((tid, Resume::Msg(env)));
-    }
-
-    // ------------------------------------------------------------------
-
-    fn handle_join(&mut self, tid: u32, actual: Vec<(String, Value)>) {
-        let guess = self.threads[&tid].fork_guess;
-        let Some(guess) = guess else {
-            self.ready.push_back((tid, Resume::JoinSequential));
-            return;
+        let sent = |log: &[Observable]| -> Vec<Observable> {
+            log.iter()
+                .filter(|o| matches!(o, O::Sent { to, .. } if *to == peer))
+                .cloned()
+                .collect()
         };
-        let expected = self.guesses.get(&guess).cloned().unwrap_or_default();
-        let value_ok = expected
+        if recv(base) != recv(other) || sent(base) != sent(other) {
+            return false;
+        }
+    }
+    let outputs = |log: &[Observable]| -> Vec<String> {
+        let mut v: Vec<String> = log
             .iter()
-            .all(|(k, v)| actual.iter().any(|(ak, av)| ak == k && av == v));
-        match self.core.join_left_done(guess, value_ok) {
-            JoinDecision::Commit { committed } => {
-                for g in committed {
-                    self.local_commit(g);
-                }
-                self.flush_buffers();
-            }
-            JoinDecision::Abort { effects } => {
-                let survives = !effects.rollback_threads.iter().any(|(t, _)| *t == tid)
-                    && !effects.discard_threads.contains(&tid);
-                let rerun = self.apply_abort_effects(effects, Some(guess));
-                if survives && !rerun.contains(&guess) {
-                    if let Some(th) = self.threads.get_mut(&tid) {
-                        th.fork_guess = None;
-                    }
-                    self.ready.push_back((tid, Resume::JoinSequential));
-                }
-            }
-            JoinDecision::Await {
-                guess,
-                precedence_guard,
-            } => {
-                self.threads.get_mut(&tid).unwrap().status = Status::AwaitingJoin;
-                let wire = self.core.encode_control_guard(&precedence_guard);
-                self.broadcast(Control::Precedence(guess, wire));
-            }
-            JoinDecision::AlreadyAborted { .. } => {
-                if let Some(th) = self.threads.get_mut(&tid) {
-                    th.fork_guess = None;
-                }
-                self.ready.push_back((tid, Resume::JoinSequential));
-            }
-        }
-        self.sync_tele();
-    }
-
-    fn local_commit(&mut self, g: GuessId) {
-        self.stats.commits += 1;
-        if self.tele.enabled() {
-            let t = self.now_us();
-            self.tele.record(TelemetryEvent::WaveStart { t, guess: g });
-        }
-        self.sync_tele();
-        self.broadcast(Control::Commit(g));
-        if let Some(own) = self.core.own.get(&g) {
-            let left = own.left_thread;
-            if let Some(th) = self.threads.get_mut(&left) {
-                th.status = Status::Done;
-                th.fork_guess = None;
-            }
-        }
-        self.flush_buffers();
-    }
-
-    fn on_ctrl(&mut self, ctrl: Control) {
-        self.relay_control(&ctrl);
-        match ctrl {
-            Control::Commit(g) => {
-                let eff = self.core.on_commit(g);
-                if self.tele.enabled() {
-                    let t = self.now_us();
-                    self.tele.record(TelemetryEvent::WaveLanded {
-                        t,
-                        guess: g,
-                        at: self.pid,
-                    });
-                }
-                for own in eff.own_committed {
-                    self.local_commit(own);
-                }
-                self.flush_buffers();
-                self.try_deliver();
-            }
-            Control::Abort(g) => {
-                let eff = self.core.on_abort(g);
-                self.apply_abort_effects(eff, Some(g));
-            }
-            Control::Precedence(g, guard) => {
-                let decoded = self.core.decode_control_guard(&guard);
-                let eff = self.core.on_precedence(g, &decoded);
-                let root = eff.own_aborted.first().copied();
-                self.apply_abort_effects(eff, root);
-            }
-        }
-        self.sync_tele();
-    }
-
-    fn on_timer(&mut self, guess: GuessId) {
-        let unresolved = self
-            .core
-            .own
-            .get(&guess)
-            .map(|o| {
-                matches!(
-                    o.state,
-                    opcsp_core::OwnGuessState::Pending
-                        | opcsp_core::OwnGuessState::AwaitingResolution
-                )
+            .filter_map(|o| match o {
+                O::Output { payload } => Some(format!("{payload:?}")),
+                _ => None,
             })
-            .unwrap_or(false);
-        if !unresolved {
-            return;
-        }
-        let eff = self.core.on_abort(guess);
-        self.apply_abort_effects(eff, Some(guess));
-    }
-
-    fn apply_abort_effects(
-        &mut self,
-        effects: opcsp_core::AbortEffects,
-        root: Option<GuessId>,
-    ) -> Vec<GuessId> {
-        // Wasted-step attribution: prefer the triggering guess the call
-        // site named; a locally-detected cascade falls back to its first
-        // own aborted guess.
-        let root = root.or_else(|| effects.own_aborted.first().copied());
-        for g in &effects.own_aborted {
-            self.stats.aborts += 1;
-            self.broadcast(Control::Abort(*g));
-        }
-        for tid in &effects.discard_threads {
-            if let Some(mut th) = self.threads.remove(tid) {
-                self.stats.discarded_threads += 1;
-                if self.tele.enabled() {
-                    let t = self.now_us();
-                    self.tele.record(TelemetryEvent::Discard {
-                        t,
-                        process: self.pid,
-                        thread: *tid,
-                        intervals: (th.checkpoints.len() as u32).saturating_sub(1),
-                        steps_lost: th.steps,
-                        root,
-                    });
-                }
-                for (_, env) in th.consumed.drain(..) {
-                    self.pool.push(env);
-                }
-                // Drop any queued work for the dead thread.
-                self.ready.retain(|(t, _)| t != tid);
-            }
-        }
-        for (tid, slot) in &effects.rollback_threads {
-            self.restore_thread(*tid, *slot, root);
-        }
-        let mut resumed = Vec::new();
-        for g in &effects.rerun_sequential {
-            let left = self.core.own.get(g).map(|o| o.left_thread);
-            if let Some(left) = left {
-                if let Some(th) = self.threads.get_mut(&left) {
-                    th.fork_guess = None;
-                    resumed.push(*g);
-                    self.ready.push_back((left, Resume::JoinSequential));
-                }
-            }
-        }
-        self.purge_pool();
-        self.try_deliver();
-        // Restores can empty guards (resolved guesses are filtered out):
-        // release any buffered external outputs that became safe.
-        self.flush_buffers();
-        self.sync_tele();
-        resumed
-    }
-
-    fn restore_thread(&mut self, tid: u32, slot: u32, root: Option<GuessId>) {
-        self.stats.rollbacks += 1;
-        let Some(th) = self.threads.get_mut(&tid) else {
-            return;
-        };
-        let slot = slot as usize;
-        let chk = th.checkpoints[slot].clone();
-        let depth = (th.checkpoints.len() - slot) as u32;
-        let steps_lost = th.steps.saturating_sub(chk.steps_len);
-        th.checkpoints.truncate(slot);
-        th.state = chk.state;
-        th.status = chk.status;
-        th.call_stack = chk.call_stack;
-        th.fork_guess = chk.fork_guess;
-        th.oblog.truncate(chk.oblog_len);
-        th.out_buf.truncate(chk.out_buf_len);
-        th.steps = chk.steps_len;
-        for (_, env) in th.consumed.split_off(chk.consumed_len) {
-            self.pool.push(env);
-        }
-        // Cancel queued work for the rolled-back thread: it is blocked at
-        // its checkpointed receive/call again.
-        self.ready.retain(|(t, _)| *t != tid);
-        if self.tele.enabled() {
-            let t = self.now_us();
-            self.tele.record(TelemetryEvent::Rollback {
-                t,
-                process: self.pid,
-                thread: tid,
-                depth,
-                steps_lost,
-                root,
-            });
-        }
-    }
-
-    fn purge_pool(&mut self) {
-        let mut kept = Vec::with_capacity(self.pool.len());
-        let mut orphans = Vec::new();
-        for mut env in self.pool.drain(..) {
-            match self.core.classify_arrival(&mut env) {
-                ArrivalVerdict::Orphan(g) => {
-                    self.stats.orphans += 1;
-                    orphans.push((env.id, g));
-                }
-                ArrivalVerdict::Ok => kept.push(env),
-            }
-        }
-        self.pool = kept;
-        for (msg, g) in orphans {
-            self.record_orphan(msg, g);
-        }
-    }
-
-    fn flush_buffers(&mut self) {
-        let mut released = Vec::new();
-        for (tid, th) in self.threads.iter_mut() {
-            let guard_empty = self
-                .core
-                .threads
-                .get(tid)
-                .map(|m| m.guard.is_empty())
-                .unwrap_or(false);
-            if guard_empty && !th.out_buf.is_empty() {
-                released.append(&mut th.out_buf);
-            }
-        }
-        self.external.extend(released);
-    }
+            .collect();
+        v.sort();
+        v
+    };
+    outputs(base) == outputs(other)
 }
 
 /// Convenience: the observable kind of a sent message in logs.

@@ -207,6 +207,45 @@ pub fn run_fan_in_burst(opts: FanInOpts, depth: u32) -> SimResult {
     b.build().run()
 }
 
+// ---------------------------------------------------------------------
+// Wide variant on the real-thread runtime
+// ---------------------------------------------------------------------
+
+/// Build the fan-in world on the real-thread runtime, sized by
+/// `opts.producers` (up to 100k senders — widths the sharded executor
+/// exists for). Every producer shares ONE behavior template, so
+/// registration is an `Arc` pointer clone per process and actor state is
+/// constructed lazily inside the owning executor thread: a huge world
+/// pays no O(N) coordinator-side allocation spike before the run starts.
+/// Producers are the clients whose completion ends the run; the consumer
+/// is the server.
+///
+/// Width note: with optimism on, every concurrently-unresolved producer
+/// guess lands in the consumer's thread guard, so reply guards grow with
+/// the number of producers mid-speculation — an O(width²) wire-byte cost
+/// that is a *protocol* property (the guard-interner experiments measure
+/// it), not an executor one. Full-width runs that only exercise executor
+/// scale should set `optimism: false` in the `RtConfig`.
+pub fn rt_fan_in_world(opts: &FanInOpts, cfg: opcsp_rt::RtConfig) -> opcsp_rt::RtWorld {
+    use std::sync::Arc;
+    assert!(
+        opts.producers <= 100_000,
+        "rt fan-in is sized for up to 100k senders"
+    );
+    let board = consumer(opts);
+    let mut w = opcsp_rt::RtWorld::new(cfg);
+    let template: Arc<dyn Behavior> = Arc::new(PutLineClient::to(opts.n, board));
+    for _ in 0..opts.producers {
+        w.add_process_arc(template.clone(), true);
+    }
+    let s = w.add_process(
+        Server::new("Board", opts.server_compute).with_reply(|_| Value::Bool(true)),
+        false,
+    );
+    debug_assert_eq!(s, board);
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

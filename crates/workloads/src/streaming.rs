@@ -425,6 +425,26 @@ pub fn run_tally(opts: TallyOpts) -> SimResult {
     b.build().run()
 }
 
+/// Build `pairs` independent client→server pairs on the real-thread
+/// runtime: client `2k` streams `n` calls to server `2k+1` and no link
+/// ever crosses a pair. The executor-scaling workload — with a shared
+/// consumer (fan-in) one actor serializes the run, whereas independent
+/// pairs let committed-calls/sec grow with the worker count until the
+/// pool, not the protocol, is the bottleneck. Behaviors are shared
+/// `Arc` templates per role, so a 4096-process world registers without
+/// an O(N) construction spike (see `fan_in::rt_fan_in_world`).
+pub fn rt_pairs_world(pairs: u32, n: u32, cfg: opcsp_rt::RtConfig) -> opcsp_rt::RtWorld {
+    let mut w = opcsp_rt::RtWorld::new(cfg);
+    let server: Arc<dyn Behavior> =
+        Arc::new(Server::new("S", 0).with_reply(|_| Value::Bool(true)));
+    for k in 0..pairs {
+        let c = w.add_process(PutLineClient::to(n, ProcessId(2 * k + 1)), true);
+        let s = w.add_process_arc(server.clone(), false);
+        debug_assert_eq!((c, s), (ProcessId(2 * k), ProcessId(2 * k + 1)));
+    }
+    w
+}
+
 /// Number of lines the client successfully delivered, per the committed
 /// external record — here, the count of successful calls in the client log.
 pub fn delivered_lines(result: &SimResult) -> usize {
