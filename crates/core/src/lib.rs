@@ -24,7 +24,7 @@
 //! | §4.1.5 commit histories | [`history`] |
 //! | §4.2.1 fork, §4.2.2 send, §4.2.3 arrival/receive | [`process`] |
 //! | §4.2.4 join, §4.2.6–4.2.8 COMMIT/ABORT/PRECEDENCE | [`resolve`] |
-//! | §3.3 liveness (timeout, retry limit L) | [`process`] (`CoreConfig`) |
+//! | §3.3 liveness (timeout, speculation policy) | [`process`], [`speculation`] |
 
 pub mod cdg;
 pub mod compact;
@@ -35,6 +35,7 @@ pub mod ids;
 pub mod message;
 pub mod process;
 pub mod resolve;
+pub mod speculation;
 pub mod telemetry;
 pub mod value;
 pub mod wire;
@@ -51,8 +52,10 @@ pub use process::{
     OwnGuess, OwnGuessState, ProcessCore, ResolutionCause, ThreadMeta, ThreadPhase,
 };
 pub use resolve::{AbortEffects, CommitEffects, JoinDecision};
+pub use speculation::{PolicyShift, ShiftReason, SiteController, SpeculationPolicy};
 pub use telemetry::{
-    GuessLifecycle, Histogram, LifecycleReport, ProtoStats, Telemetry, TelemetryEvent, Tick,
+    GuessLifecycle, Histogram, LifecycleReport, ProtoStats, SiteSummary, Telemetry,
+    TelemetryEvent, Tick,
 };
 pub use wire::{GuardCodec, SendTag, TableRow, WireGuard, WireState, WireStats};
 pub use value::Value;

@@ -19,8 +19,9 @@ use crate::guard::{Guard, GuardInterner, InternerStats};
 use crate::history::History;
 use crate::ids::{ForkIndex, GuessId, Incarnation, ProcessId, StateIndex};
 use crate::message::{DataKind, Envelope};
+use crate::speculation::{PolicyShift, SiteController, SpeculationPolicy, SpeculationState};
 use crate::wire::{GuardCodec, SendTag, WireGuard, WireState, WireStats};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Tuning knobs for the protocol core (ablation switches live here).
 #[derive(Debug, Clone)]
@@ -32,9 +33,11 @@ pub struct CoreConfig {
     /// thread of this process dooms that thread immediately rather than
     /// waiting for the timeout.
     pub early_return_check: bool,
-    /// §3.3 liveness limit `L`: after a fork site has been re-executed
-    /// optimistically this many times, refuse to fork (run pessimistically).
-    pub retry_limit: u32,
+    /// §3.3 liveness policy: when may a fork site run optimistically?
+    /// Replaces the old static `retry_limit: u32` — that constant survives
+    /// as [`SpeculationPolicy::Static`]; see `core::speculation` for the
+    /// adaptive per-site controller.
+    pub speculation: SpeculationPolicy,
     /// §4.2.5 dissemination: broadcast control messages to every process
     /// (the paper's simple scheme), or target them at recorded dependents
     /// ("explicitly sending them to processes which are known to depend on
@@ -53,10 +56,42 @@ impl Default for CoreConfig {
         CoreConfig {
             deliver_min_deps: true,
             early_return_check: true,
-            retry_limit: 3,
+            speculation: SpeculationPolicy::default(),
             targeted_control: false,
             codec: GuardCodec::Full,
         }
+    }
+}
+
+impl CoreConfig {
+    /// Never fork: the sequential baseline as a first-class policy.
+    pub fn pessimistic() -> Self {
+        CoreConfig {
+            speculation: SpeculationPolicy::Pessimistic,
+            ..CoreConfig::default()
+        }
+    }
+
+    /// The paper's static retry limit `L` (§3.3).
+    pub fn static_limit(limit: u32) -> Self {
+        CoreConfig {
+            speculation: SpeculationPolicy::Static { limit },
+            ..CoreConfig::default()
+        }
+    }
+
+    /// Per-fork-site adaptive control with default tuning.
+    pub fn adaptive() -> Self {
+        CoreConfig {
+            speculation: SpeculationPolicy::adaptive(),
+            ..CoreConfig::default()
+        }
+    }
+
+    /// Replace the speculation policy, builder-style.
+    pub fn with_speculation(mut self, policy: SpeculationPolicy) -> Self {
+        self.speculation = policy;
+        self
     }
 }
 
@@ -151,8 +186,11 @@ pub struct OwnGuess {
     /// State index of the left thread at the moment of the fork; if the
     /// left thread rolls back to before this point, the fork is undone.
     pub forked_at: StateIndex,
-    /// Program location of the fork, for the retry-limit-L policy.
+    /// Program location of the fork, for the §3.3 speculation policy.
     pub site: u32,
+    /// Value of the process's protocol-event clock at fork time; the
+    /// controller's fork→resolve latency is measured against it.
+    pub forked_tick: u64,
     pub state: OwnGuessState,
 }
 
@@ -200,8 +238,13 @@ pub struct ProcessCore {
     /// Own guesses, keyed by guess id (fork indices recur across
     /// incarnations).
     pub own: BTreeMap<GuessId, OwnGuess>,
-    /// Optimistic re-execution counts per fork site (liveness limit L).
-    retries: HashMap<u32, u32>,
+    /// Per-fork-site speculation controllers (§3.3 policy state: retry
+    /// counts, success/latency EWMAs, effective budgets, decision log).
+    speculation: SpeculationState,
+    /// Monotone protocol-event counter (forks, deliveries, resolutions):
+    /// the clock the controller's fork→resolve latency EWMA is measured
+    /// in. Engine-agnostic — no wall or virtual time reaches the core.
+    spec_clock: u64,
     /// For targeted control dissemination (§4.2.5): the processes we sent
     /// each guess to in a data-message guard tag.
     dependents: BTreeMap<GuessId, BTreeSet<ProcessId>>,
@@ -260,7 +303,8 @@ impl ProcessCore {
             cdg: Cdg::new(),
             threads,
             own: BTreeMap::new(),
-            retries: HashMap::new(),
+            speculation: SpeculationState::default(),
+            spec_clock: 0,
             dependents: BTreeMap::new(),
             interner: GuardInterner::new(),
             wire: WireState::new(config_codec),
@@ -282,31 +326,59 @@ impl ProcessCore {
             .filter(|t| t.phase != ThreadPhase::Done)
     }
 
-    /// §3.3: may this fork site still run optimistically, or has it
-    /// exhausted its retry budget `L`?
-    pub fn may_fork_optimistically(&self, site: u32) -> bool {
-        self.retries.get(&site).copied().unwrap_or(0) < self.config.retry_limit
-    }
-
-    /// Record an optimistic re-execution of a fork site (called when the
-    /// fork's guess aborts).
-    pub fn note_retry(&mut self, site: u32) {
-        *self.retries.entry(site).or_insert(0) += 1;
+    /// §3.3 fork gate: may this site run optimistically right now, under
+    /// the configured [`SpeculationPolicy`]? `&mut` because the adaptive
+    /// controller counts denied attempts toward a cooling-off site's
+    /// probe.
+    pub fn can_fork(&mut self, site: u32) -> bool {
+        let policy = self.config.speculation;
+        self.speculation.can_fork(&policy, site)
     }
 
     pub fn retries_at(&self, site: u32) -> u32 {
-        self.retries.get(&site).copied().unwrap_or(0)
+        self.speculation.retries_at(site)
     }
 
-    /// Reset a site's retry budget (called when a fork at that site
-    /// commits — the next fork there is a new computation).
-    pub fn reset_retries(&mut self, site: u32) {
-        self.retries.remove(&site);
+    /// Feed an own-guess resolution into the site's controller: retry
+    /// bookkeeping (commit resets, root abort increments), success and
+    /// latency EWMAs, budget shifts.
+    pub(crate) fn spec_resolved(
+        &mut self,
+        site: u32,
+        forked_tick: u64,
+        committed: bool,
+        is_root: bool,
+    ) {
+        self.spec_clock += 1;
+        let latency = self.spec_clock.saturating_sub(forked_tick);
+        let policy = self.config.speculation;
+        self.speculation
+            .resolved(&policy, site, committed, latency, is_root);
+    }
+
+    /// Controller state for one fork site (None if it never forked).
+    pub fn speculation_site(&self, site: u32) -> Option<&SiteController> {
+        self.speculation.site(site)
+    }
+
+    /// All fork sites with controller state.
+    pub fn speculation_sites(&self) -> impl Iterator<Item = (u32, &SiteController)> {
+        self.speculation.sites()
+    }
+
+    /// The controller's decision log, in decision order (engines
+    /// cursor-sync this into the telemetry stream).
+    pub fn policy_shifts(&self) -> &[PolicyShift] {
+        self.speculation.shifts()
     }
 
     /// Perform a fork (§4.2.1): thread `creating` splits; the new right
     /// thread is guarded by a fresh guess.
     pub fn fork(&mut self, creating: ForkIndex, site: u32) -> ForkRecord {
+        self.spec_clock += 1;
+        let forked_tick = self.spec_clock;
+        let policy = self.config.speculation;
+        self.speculation.note_fork(&policy, site);
         self.max_thread += 1;
         let n = self.max_thread;
         let guess = GuessId {
@@ -342,6 +414,7 @@ impl ProcessCore {
                 right_thread: n,
                 forked_at,
                 site,
+                forked_tick,
                 state: OwnGuessState::Pending,
             },
         );
@@ -516,6 +589,7 @@ impl ProcessCore {
     /// The engine must checkpoint the thread's behavior state *before*
     /// applying the message whenever `new_interval` is returned.
     pub fn deliver(&mut self, thread: ForkIndex, env: &Envelope) -> DeliveryEffect {
+        self.spec_clock += 1;
         // Canonicalize the incoming tag first: fan-in servers see the same
         // tag on message after message, so interning turns every repeat
         // into an O(1) storage-sharing hit (small tags pass through free).
@@ -837,19 +911,20 @@ mod tests {
 
     #[test]
     fn retry_limit_gates_optimism() {
-        let mut core = ProcessCore::new(
-            ProcessId(0),
-            CoreConfig {
-                retry_limit: 2,
-                ..CoreConfig::default()
-            },
-        );
-        assert!(core.may_fork_optimistically(7));
-        core.note_retry(7);
-        assert!(core.may_fork_optimistically(7));
-        core.note_retry(7);
-        assert!(!core.may_fork_optimistically(7));
-        assert!(core.may_fork_optimistically(8));
+        let mut core = ProcessCore::new(ProcessId(0), CoreConfig::static_limit(2));
+        assert!(core.can_fork(7));
+        core.spec_resolved(7, 0, false, true);
+        assert!(core.can_fork(7));
+        core.spec_resolved(7, 0, false, true);
+        assert!(!core.can_fork(7));
+        assert!(core.can_fork(8));
         assert_eq!(core.retries_at(7), 2);
+    }
+
+    #[test]
+    fn pessimistic_config_denies_every_site() {
+        let mut core = ProcessCore::new(ProcessId(0), CoreConfig::pessimistic());
+        assert!(!core.can_fork(1));
+        assert!(!core.can_fork(2));
     }
 }

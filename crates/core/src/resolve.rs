@@ -204,10 +204,11 @@ impl ProcessCore {
             o.state = OwnGuessState::Committed;
             let left = o.left_thread;
             let site = o.site;
+            let forked_tick = o.forked_tick;
             if let Some(t) = self.threads.get_mut(&left) {
                 t.phase = ThreadPhase::Done;
             }
-            self.reset_retries(site);
+            self.spec_resolved(site, forked_tick, true, true);
             self.resolutions.push(GuessResolution {
                 guess: g,
                 committed: true,
@@ -388,9 +389,10 @@ impl ProcessCore {
                         ResolutionCause::DependencyAbort { root }
                     },
                 });
-                if o.id == root {
-                    self.note_retry(o.site);
-                }
+                // Root aborts count as a retry and a failed success
+                // sample; cascade victims only release their in-flight
+                // slot (they were dependent, not wrong).
+                self.spec_resolved(o.site, o.forked_tick, false, o.id == root);
                 min_aborted_index =
                     Some(min_aborted_index.map_or(o.id.index, |m| m.min(o.id.index)));
                 // The right thread dies with the guess (its guard contains

@@ -31,6 +31,7 @@ use crate::guard::InternerStats;
 use crate::ids::{ForkIndex, GuessId, ProcessId};
 use crate::message::MsgId;
 use crate::process::{GuessResolution, ResolutionCause};
+use crate::speculation::PolicyShift;
 use crate::wire::WireStats;
 
 /// Engine-relative event time: virtual ticks in the simulator,
@@ -100,6 +101,13 @@ pub enum TelemetryEvent {
         msg: MsgId,
         guess: GuessId,
     },
+    /// The speculation controller changed a fork site's effective budget
+    /// (`core::speculation`): deepen, back off, cooloff or probe.
+    PolicyShift {
+        t: Tick,
+        process: ProcessId,
+        shift: PolicyShift,
+    },
 }
 
 impl TelemetryEvent {
@@ -112,7 +120,8 @@ impl TelemetryEvent {
             | TelemetryEvent::WaveStart { t, .. }
             | TelemetryEvent::WaveLanded { t, .. }
             | TelemetryEvent::Deliver { t, .. }
-            | TelemetryEvent::Orphan { t, .. } => *t,
+            | TelemetryEvent::Orphan { t, .. }
+            | TelemetryEvent::PolicyShift { t, .. } => *t,
         }
     }
 }
@@ -127,6 +136,9 @@ pub struct Telemetry {
     /// Per-process cursor into `ProcessCore::resolutions`, so repeated
     /// [`Telemetry::sync_resolutions`] calls emit each resolution once.
     cursors: BTreeMap<ProcessId, usize>,
+    /// Per-process cursor into the speculation controller's decision log
+    /// (`ProcessCore::policy_shifts`), same idempotence contract.
+    shift_cursors: BTreeMap<ProcessId, usize>,
 }
 
 impl Telemetry {
@@ -165,6 +177,24 @@ impl Telemetry {
             });
         }
         *cursor = resolutions.len();
+    }
+
+    /// Emit `PolicyShift` events for controller decisions recorded by
+    /// `process` since the last sync (cursor-idempotent, like
+    /// [`Telemetry::sync_resolutions`]).
+    pub fn sync_policy_shifts(&mut self, t: Tick, process: ProcessId, shifts: &[PolicyShift]) {
+        if !self.enabled {
+            return;
+        }
+        let cursor = self.shift_cursors.entry(process).or_insert(0);
+        for s in &shifts[(*cursor).min(shifts.len())..] {
+            self.events.push(TelemetryEvent::PolicyShift {
+                t,
+                process,
+                shift: *s,
+            });
+        }
+        *cursor = shifts.len();
     }
 
     /// Fold another sink's events into this one (runtime actors each record
@@ -311,6 +341,18 @@ impl Telemetry {
                     msg.0,
                     json_str(&guess.to_string()),
                 )),
+                TelemetryEvent::PolicyShift { t, process, shift } => Some(format!(
+                    "{{\"name\":\"policy_shift\",\"cat\":\"policy\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":{},\"tid\":0,\"args\":{{\"site\":{},\"reason\":\"{}\",\
+                     \"from_limit\":{},\"to_limit\":{},\"success_pm\":{}}}}}",
+                    t,
+                    process.0,
+                    shift.site,
+                    shift.reason,
+                    shift.from_limit,
+                    shift.to_limit,
+                    shift.success_pm,
+                )),
                 _ => None,
             };
             if let Some(r) = record {
@@ -399,10 +441,29 @@ pub struct LifecycleReport {
     /// Aborted-guess count per fork site: `(process, site) → retries`.
     /// Each abort at a site forces one optimistic re-execution (§3.3).
     pub retries: BTreeMap<(ProcessId, u32), u64>,
+    /// Speculation-controller decisions per fork site:
+    /// `(process, site) → PolicyShift event count`.
+    pub policy_shifts: BTreeMap<(ProcessId, u32), u64>,
     /// Total behavior steps discarded by rollbacks and thread discards.
     pub wasted_steps: u64,
     /// Wasted steps that could not be attributed to a specific guess.
     pub unattributed_steps: u64,
+}
+
+/// Per-fork-site rollup of [`LifecycleReport`] — the speculation
+/// controller's inputs, inspectable per site.
+#[derive(Debug, Clone, Default)]
+pub struct SiteSummary {
+    /// Guesses forked at this site.
+    pub forks: u64,
+    pub committed: u64,
+    pub aborted: u64,
+    /// Behavior steps wasted by aborts rooted at this site's guesses.
+    pub wasted_steps: u64,
+    /// Controller decisions (PolicyShift events) at this site.
+    pub policy_shifts: u64,
+    /// Fork→resolution latency of this site's resolved guesses.
+    pub latency: Histogram,
 }
 
 impl LifecycleReport {
@@ -467,6 +528,12 @@ impl LifecycleReport {
                         None => report.unattributed_steps += steps_lost,
                     }
                 }
+                TelemetryEvent::PolicyShift { process, shift, .. } => {
+                    *report
+                        .policy_shifts
+                        .entry((*process, shift.site))
+                        .or_insert(0) += 1;
+                }
                 _ => {}
             }
         }
@@ -491,6 +558,29 @@ impl LifecycleReport {
     /// Total retries across all sites.
     pub fn total_retries(&self) -> u64 {
         self.retries.values().sum()
+    }
+
+    /// Roll the report up per `(process, fork site)` — forks, verdicts,
+    /// wasted steps, controller decisions, latency distribution.
+    pub fn per_site(&self) -> BTreeMap<(ProcessId, u32), SiteSummary> {
+        let mut sites: BTreeMap<(ProcessId, u32), SiteSummary> = BTreeMap::new();
+        for lc in &self.guesses {
+            let s = sites.entry((lc.guess.process, lc.site)).or_default();
+            s.forks += 1;
+            match lc.committed {
+                Some(true) => s.committed += 1,
+                Some(false) => s.aborted += 1,
+                None => {}
+            }
+            s.wasted_steps += lc.wasted_steps;
+            if let Some(l) = lc.latency() {
+                s.latency.record(l);
+            }
+        }
+        for (key, n) in &self.policy_shifts {
+            sites.entry(*key).or_default().policy_shifts += n;
+        }
+        sites
     }
 }
 

@@ -12,7 +12,12 @@
 //!   --timeline           print the execution time-line
 //!   --show-transform     print the transformed program and fork sites
 //!   --timeout <t>        fork timeout in ticks              [default 100000]
-//!   --retry-limit <L>    §3.3 liveness limit                [default 3]
+//!   --retry-limit <L>    §3.3 liveness limit — sugar for
+//!                        --speculation static:<L>           [default 3]
+//!   --speculation <p>    speculation policy: pessimistic | static:N |
+//!                        adaptive[:target=0.7,min=0,max=16,alpha=0.5,
+//!                        cooloff=4] — the adaptive form runs the
+//!                        per-fork-site controller (core::speculation)
 //!   --forensics          on divergence, print a first-divergence report
 //!                        with a happens-before chain and a ddmin-shrunk
 //!                        minimal latency schedule
@@ -55,7 +60,7 @@
 //! out or panics), 2 if `--compare` finds a Theorem-1 divergence (which
 //! would be an engine bug worth reporting).
 
-use opcsp_core::{CoreConfig, ProcessId};
+use opcsp_core::{CoreConfig, ProcessId, SpeculationPolicy};
 use opcsp_lang::{parse_program, program_to_string, System};
 use opcsp_sim::{
     check_theorem1, first_divergence, happens_before_chain, render_report, shrink_schedule,
@@ -75,7 +80,7 @@ struct Options {
     timeline: bool,
     show_transform: bool,
     timeout: u64,
-    retry_limit: u32,
+    speculation: SpeculationPolicy,
     forensics: bool,
     inject_lifo: bool,
     inject_phantom: bool,
@@ -83,6 +88,15 @@ struct Options {
     workers: Option<usize>,
     chaos: Option<String>,
     trace_out: Option<String>,
+}
+
+impl Options {
+    /// The one `CoreConfig` assembly point for both engines: the sim and
+    /// rt paths must build the protocol core from the same knobs, or a new
+    /// option silently applies to only one side of a `--compare`.
+    fn core_config(&self) -> CoreConfig {
+        CoreConfig::default().with_speculation(self.speculation)
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -96,7 +110,7 @@ fn parse_args() -> Result<Options, String> {
         timeline: false,
         show_transform: false,
         timeout: 100_000,
-        retry_limit: 3,
+        speculation: SpeculationPolicy::default(),
         forensics: false,
         inject_lifo: false,
         inject_phantom: false,
@@ -139,7 +153,17 @@ fn parse_args() -> Result<Options, String> {
             "--jitter" => opts.jitter = num("--jitter")?,
             "--seed" => opts.seed = num("--seed")?,
             "--timeout" => opts.timeout = num("--timeout")?,
-            "--retry-limit" => opts.retry_limit = num("--retry-limit")? as u32,
+            // Sugar for `--speculation static:<L>` (the historical knob).
+            "--retry-limit" => {
+                opts.speculation = SpeculationPolicy::Static {
+                    limit: num("--retry-limit")? as u32,
+                }
+            }
+            "--speculation" => {
+                let spec = args.next().ok_or("--speculation needs a policy")?;
+                opts.speculation = SpeculationPolicy::parse(&spec)
+                    .map_err(|e| format!("--speculation: {e}"))?;
+            }
             "--help" | "-h" => return Err("help".into()),
             f if !f.starts_with('-') && opts.file.is_empty() => opts.file = f.to_string(),
             other => return Err(format!("unknown option {other}")),
@@ -155,7 +179,8 @@ fn usage() {
     eprintln!(
         "usage: opcsp-run <file.csp> [--pessimistic] [--compare] [--latency d] \
          [--jitter s] [--seed n] [--timeline] [--show-transform] [--timeout t] \
-         [--retry-limit L] [--forensics] [--inject-lifo] [--inject-phantom] \
+         [--retry-limit L] [--speculation pessimistic|static:N|adaptive[:k=v,..]] \
+         [--forensics] [--inject-lifo] [--inject-phantom] \
          [--rt] [--workers N] [--chaos spec] [--trace-out path]"
     );
 }
@@ -266,10 +291,7 @@ fn run_rt(sys: &System, opts: &Options) -> ExitCode {
         None => opcsp_rt::NetFaults::none(),
     };
     let cfg = |faults: opcsp_rt::NetFaults| opcsp_rt::RtConfig {
-        core: CoreConfig {
-            retry_limit: opts.retry_limit,
-            ..CoreConfig::default()
-        },
+        core: opts.core_config(),
         optimism: !opts.pessimistic,
         // Simulator ticks become milliseconds on real threads; a fork
         // timeout in simulated ticks would dwarf any real run, so cap it.
@@ -431,10 +453,7 @@ fn main() -> ExitCode {
         LatencyModel::fixed(opts.latency)
     };
     let make_cfg = |model: &LatencyModel, optimism: bool| SimConfig {
-        core: CoreConfig {
-            retry_limit: opts.retry_limit,
-            ..CoreConfig::default()
-        },
+        core: opts.core_config(),
         optimism,
         latency: model.clone(),
         fork_timeout: opts.timeout,

@@ -1,0 +1,74 @@
+//! CLI argument handling for `opcsp-run`, exercised end to end against
+//! the built binary: the `--speculation` grammar, the `--retry-limit`
+//! sugar, and their error paths.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_opcsp-run"))
+        .args(args)
+        .output()
+        .expect("spawn opcsp-run")
+}
+
+fn putline() -> String {
+    let root = env!("CARGO_MANIFEST_DIR");
+    format!("{root}/../../examples/csp/putline.csp")
+}
+
+#[test]
+fn bad_speculation_specs_are_rejected_with_a_parse_error() {
+    for bad in [
+        "static",
+        "static:banana",
+        "adaptive:target=1.5",
+        "adaptive:alpha=0",
+        "adaptive:min=9,max=2",
+        "optimistic",
+        "adaptive:unknown=1",
+    ] {
+        let out = run(&[&putline(), "--speculation", bad]);
+        assert!(
+            !out.status.success(),
+            "spec {bad:?} must be rejected (status {:?})",
+            out.status
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("--speculation"),
+            "spec {bad:?}: stderr should name the flag: {err}"
+        );
+    }
+}
+
+#[test]
+fn missing_speculation_value_is_rejected() {
+    let out = run(&[&putline(), "--speculation"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--speculation needs a policy"), "{err}");
+}
+
+#[test]
+fn valid_speculation_specs_run_the_program() {
+    for good in ["pessimistic", "static:2", "adaptive", "adaptive:target=0.6,max=8"] {
+        let out = run(&[&putline(), "--speculation", good, "--latency", "5"]);
+        assert!(
+            out.status.success(),
+            "spec {good:?} should run: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn retry_limit_is_sugar_for_static() {
+    // Same program, same knob spelled both ways: identical summaries.
+    let sugar = run(&[&putline(), "--retry-limit", "2", "--latency", "5"]);
+    let full = run(&[&putline(), "--speculation", "static:2", "--latency", "5"]);
+    assert!(sugar.status.success() && full.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&sugar.stdout),
+        String::from_utf8_lossy(&full.stdout)
+    );
+}

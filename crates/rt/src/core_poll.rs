@@ -319,6 +319,8 @@ impl ProcessActor {
         if self.tele.enabled() {
             let t = self.now_us();
             self.tele.sync_resolutions(t, self.pid, &self.core.resolutions);
+            self.tele
+                .sync_policy_shifts(t, self.pid, self.core.policy_shifts());
         }
     }
 
@@ -414,7 +416,7 @@ impl ProcessActor {
             } => {
                 let cid = CallId(self.call_ids.fetch_add(1, Ordering::Relaxed));
                 self.send_data(tid, to, DataKind::Call(cid), payload, label);
-                let optimistic = self.cfg.optimism && self.core.may_fork_optimistically(site);
+                let optimistic = self.cfg.optimism && self.core.can_fork(site);
                 if optimistic {
                     let rec = self.core.fork(tid, site);
                     self.stats.forks += 1;
@@ -442,7 +444,7 @@ impl ProcessActor {
                 self.try_deliver();
             }
             Effect::Fork { site, guesses } => {
-                let optimistic = self.cfg.optimism && self.core.may_fork_optimistically(site);
+                let optimistic = self.cfg.optimism && self.core.can_fork(site);
                 if !optimistic {
                     self.ready.push_back((tid, Resume::ForkDenied));
                     return;

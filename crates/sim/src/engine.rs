@@ -537,6 +537,7 @@ impl World {
         for i in 0..self.procs.len() {
             let p = &self.procs[i];
             self.tele.sync_resolutions(now, p.id, &p.core.resolutions);
+            self.tele.sync_policy_shifts(now, p.id, p.core.policy_shifts());
         }
         let mut process_done = BTreeMap::new();
         let mut logs = BTreeMap::new();
@@ -589,6 +590,7 @@ impl World {
         let now = self.now;
         let p = &self.procs[pid.0 as usize];
         self.tele.sync_resolutions(now, pid, &p.core.resolutions);
+        self.tele.sync_policy_shifts(now, pid, p.core.policy_shifts());
     }
 
     // ------------------------------------------------------------------
@@ -727,10 +729,8 @@ impl World {
                 let cid = CallId(self.next_call);
                 self.next_call += 1;
                 self.send_data(pid, tid, to, DataKind::Call(cid), payload, label);
-                let optimistic = {
-                    let p = &self.procs[pid.0 as usize];
-                    self.cfg.optimism && p.core.may_fork_optimistically(site)
-                };
+                let optimistic =
+                    self.cfg.optimism && self.procs[pid.0 as usize].core.can_fork(site);
                 if optimistic {
                     let p = &mut self.procs[pid.0 as usize];
                     let rec = p.core.fork(tid, site);
@@ -959,10 +959,7 @@ impl World {
 
     fn handle_fork(&mut self, pid: ProcessId, tid: u32, site: u32, guesses: Vec<(String, Value)>) {
         let now = self.now;
-        let optimistic = {
-            let p = &self.procs[pid.0 as usize];
-            self.cfg.optimism && p.core.may_fork_optimistically(site)
-        };
+        let optimistic = self.cfg.optimism && self.procs[pid.0 as usize].core.can_fork(site);
         if !optimistic {
             self.resume_at(pid, tid, now + self.cfg.step_cost, Resume::ForkDenied);
             return;

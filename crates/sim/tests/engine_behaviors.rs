@@ -256,10 +256,7 @@ fn retry_limit_denies_forks_after_budget() {
     // second attempt at the same site must be denied.
     let server = ProcessId(1);
     let mut b = SimBuilder::new(SimConfig {
-        core: CoreConfig {
-            retry_limit: 1,
-            ..CoreConfig::default()
-        },
+        core: CoreConfig::static_limit(1),
         ..cfg(true)
     });
     b.add_process(FnBehavior::new("wrong", (0u8, 0u8), move |st, resume| {

@@ -14,10 +14,14 @@
 //!   Time Warp comparison workload, E6).
 //! - [`fan_in`] — P producers streaming into one consumer (multi-writer
 //!   guard-tag reuse; the interner-hit workload).
+//! - [`contention_sweep`] — phased conflict-rate ramp on a hot server
+//!   (E12: where every static retry limit loses and adaptive tracks the
+//!   per-phase oracle).
 //! - [`servers`] — reusable server behaviors.
 
 pub mod chain;
 pub mod contention;
+pub mod contention_sweep;
 pub mod fan_in;
 pub mod servers;
 pub mod streaming;

@@ -4,7 +4,7 @@
 //! switch — including the §4.1.2 compact wire codec — in every
 //! combination.
 
-use opcsp_core::{CoreConfig, GuardCodec};
+use opcsp_core::{CoreConfig, GuardCodec, SpeculationPolicy};
 use opcsp_sim::{check_conservation, check_equivalence};
 use opcsp_workloads::streaming::{run_streaming, run_tally, StreamingOpts, TallyOpts};
 use opcsp_workloads::update_write::{fig4_latency, run_update_write, UpdateWriteOpts};
@@ -20,7 +20,7 @@ fn all_core_configs() -> Vec<CoreConfig> {
                         deliver_min_deps: deliver,
                         early_return_check: early,
                         targeted_control: targeted,
-                        retry_limit: 3,
+                        speculation: SpeculationPolicy::default(),
                         codec,
                     });
                 }
@@ -118,7 +118,7 @@ fn heavy_faults_with_all_optimizations_off() {
         deliver_min_deps: false,
         early_return_check: false,
         targeted_control: false,
-        retry_limit: 2,
+        speculation: SpeculationPolicy::Static { limit: 2 },
         codec: GuardCodec::Compact,
     };
     for p in [300u32, 700] {

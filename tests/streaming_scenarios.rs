@@ -177,10 +177,7 @@ fn fault_dooms_dependent_tail() {
 #[test]
 fn retry_limit_zero_degenerates_to_pessimistic() {
     let o = StreamingOpts {
-        core: CoreConfig {
-            retry_limit: 0,
-            ..CoreConfig::default()
-        },
+        core: CoreConfig::static_limit(0),
         ..opts(8, 40)
     };
     let limited = run_streaming(o.clone());

@@ -109,10 +109,7 @@ fn sparse_checkpoints_under_faults_at_scale() {
         latency: 25,
         fail_lines: [10u32, 40, 70].into_iter().collect(),
         checkpoint_every: 16,
-        core: CoreConfig {
-            retry_limit: 8,
-            ..CoreConfig::default()
-        },
+        core: CoreConfig::static_limit(8),
         ..Default::default()
     };
     let dense = run_streaming(StreamingOpts {
