@@ -907,6 +907,18 @@ pub fn lifecycle_stats() -> Table {
 /// for each (process, site), including the speculation controller's
 /// decision count. The faulty tally row is the interesting one — site 1
 /// accumulates aborts (retries) and, under an adaptive policy, shifts.
+/// Success-rate cell for the per-site lifecycle table. A site that forked
+/// but never resolved (the run ended mid-flight) has no rate — dividing by
+/// the zero resolution count would render `NaN%`; emit a dash instead.
+pub fn success_rate_cell(committed: u64, aborted: u64) -> String {
+    let resolved = committed + aborted;
+    if resolved == 0 {
+        "—".into()
+    } else {
+        format!("{:.0}%", 100.0 * committed as f64 / resolved as f64)
+    }
+}
+
 pub fn lifecycle_site_stats() -> Table {
     let mut t = Table::new(
         "Guess lifecycle per fork site — forks, verdicts, success rate, \
@@ -925,17 +937,12 @@ pub fn lifecycle_site_stats() -> Table {
     );
     let mut rows = |label: &str, rep: opcsp_core::LifecycleReport| {
         for (key @ (pid, site), s) in rep.per_site() {
-            let resolved = s.committed + s.aborted;
             t.row(vec![
                 format!("{label} / P{} @ {site}", pid.0),
                 s.forks.to_string(),
                 s.committed.to_string(),
                 s.aborted.to_string(),
-                if resolved == 0 {
-                    "—".into()
-                } else {
-                    format!("{:.0}%", 100.0 * s.committed as f64 / resolved as f64)
-                },
+                success_rate_cell(s.committed, s.aborted),
                 rep.retries.get(&key).copied().unwrap_or(0).to_string(),
                 s.policy_shifts.to_string(),
                 s.wasted_steps.to_string(),

@@ -1,0 +1,40 @@
+//! Pins the `figures lifecycle` per-site rendering on the zero-resolution
+//! edge: a site that forked but never resolved (run ended mid-flight) must
+//! render a dash for its success rate, never `NaN%` or a division-derived
+//! garbage value.
+
+use opcsp_bench::experiments::success_rate_cell;
+use opcsp_core::{GuessId, Incarnation, LifecycleReport, ProcessId, TelemetryEvent};
+
+#[test]
+fn zero_resolution_site_renders_a_dash() {
+    // One fork, no Resolved event: the run ended with the guess in flight.
+    let events = vec![TelemetryEvent::Fork {
+        t: 5,
+        guess: GuessId {
+            process: ProcessId(0),
+            incarnation: Incarnation(0),
+            index: 1,
+        },
+        site: 7,
+        left: 0,
+        right: 1,
+    }];
+    let rep = LifecycleReport::from_events(&events);
+    let sites = rep.per_site();
+    let s = &sites[&(ProcessId(0), 7)];
+    assert_eq!((s.forks, s.committed, s.aborted), (1, 0, 0));
+
+    let cell = success_rate_cell(s.committed, s.aborted);
+    assert_eq!(cell, "—");
+    assert!(!cell.contains("NaN"), "must not render NaN: {cell}");
+    // The latency histogram of an unresolved site is empty, not garbage.
+    assert_eq!(s.latency.render(), "n=0");
+}
+
+#[test]
+fn resolved_sites_render_a_percentage() {
+    assert_eq!(success_rate_cell(3, 1), "75%");
+    assert_eq!(success_rate_cell(0, 4), "0%");
+    assert_eq!(success_rate_cell(2, 0), "100%");
+}

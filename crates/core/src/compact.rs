@@ -70,6 +70,16 @@ impl CompactGuard {
         CompactGuard { per_process }
     }
 
+    /// Rebuild a compact guard from previously-extracted spans — the frame
+    /// codec's decode path (`wire::decode_frame`). Spans are keyed by
+    /// `latest.process`; a duplicate process keeps the later entry, so a
+    /// hostile frame cannot make the map inconsistent.
+    pub fn from_spans(spans: impl IntoIterator<Item = Span>) -> CompactGuard {
+        CompactGuard {
+            per_process: spans.into_iter().map(|s| (s.latest.process, s)).collect(),
+        }
+    }
+
     /// Core expansion walk, parameterized over the incarnation-start source
     /// and the membership filter. Shared by [`expand`](Self::expand) (local
     /// history: the sender's self-check and the E8 size accounting) and the

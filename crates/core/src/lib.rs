@@ -57,5 +57,9 @@ pub use telemetry::{
     GuessLifecycle, Histogram, LifecycleReport, ProtoStats, SiteSummary, Telemetry,
     TelemetryEvent, Tick,
 };
-pub use wire::{GuardCodec, SendTag, TableRow, WireGuard, WireState, WireStats};
+pub use wire::{
+    decode_control_frame, decode_frame, encode_control_frame, encode_frame, get_value, put_uvarint,
+    put_value, FrameError, FrameReader, GuardCodec, SendTag, TableRow, WireGuard, WireState,
+    WireStats, FRAME_VERSION, MAX_FRAME_BYTES,
+};
 pub use value::Value;

@@ -38,6 +38,19 @@
 //!   --chaos <spec>       (with --rt) inject network faults under the
 //!                        reliable-delivery sublayer, e.g.
 //!                        drop=0.2,dup=0.1,reorder=3,seed=7,part=0-1@0+80
+//!   --listen <addr>      (with --rt) run cross-process: bind <addr>
+//!                        (tcp:host:port or uds:/path), spawn
+//!                        --sock-workers copies of this binary as worker
+//!                        processes, and coordinate them over the socket
+//!                        (DESIGN.md §13). Each worker hosts a contiguous
+//!                        pid range; frames cross as binary Envelope
+//!                        frames. --compare diffs the socket run against
+//!                        an in-process fault-free baseline.
+//!   --connect <addr>     (with --rt) worker mode: connect to a parent at
+//!                        <addr> and host this worker's pid share. Spawned
+//!                        internally by --listen; needs --sock-worker <i>.
+//!   --sock-worker <i>    (with --connect) this worker's index
+//!   --sock-workers <N>   worker-process count for --listen   [default 2]
 //!   --trace-out <path>   write a Chrome/Perfetto-loadable JSON trace of
 //!                        the guess lifecycle (forks, resolutions,
 //!                        rollbacks, commit waves, orphans); works with
@@ -88,6 +101,10 @@ struct Options {
     workers: Option<usize>,
     chaos: Option<String>,
     trace_out: Option<String>,
+    listen: Option<String>,
+    connect: Option<String>,
+    sock_worker: Option<usize>,
+    sock_workers: usize,
 }
 
 impl Options {
@@ -118,7 +135,13 @@ fn parse_args() -> Result<Options, String> {
         workers: None,
         chaos: None,
         trace_out: None,
+        listen: None,
+        connect: None,
+        sock_worker: None,
+        sock_workers: 2,
     };
+    let mut retry_limit: Option<u32> = None;
+    let mut spec_flag: Option<(String, SpeculationPolicy)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut num = |name: &str| -> Result<u64, String> {
@@ -142,6 +165,20 @@ fn parse_args() -> Result<Options, String> {
             "--trace-out" => {
                 opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
             }
+            "--listen" => {
+                opts.listen = Some(args.next().ok_or("--listen needs an address")?);
+            }
+            "--connect" => {
+                opts.connect = Some(args.next().ok_or("--connect needs an address")?);
+            }
+            "--sock-worker" => opts.sock_worker = Some(num("--sock-worker")? as usize),
+            "--sock-workers" => {
+                let n = num("--sock-workers")? as usize;
+                if n == 0 {
+                    return Err("--sock-workers must be >= 1".into());
+                }
+                opts.sock_workers = n;
+            }
             "--workers" => {
                 let w = num("--workers")? as usize;
                 if w == 0 {
@@ -154,15 +191,12 @@ fn parse_args() -> Result<Options, String> {
             "--seed" => opts.seed = num("--seed")?,
             "--timeout" => opts.timeout = num("--timeout")?,
             // Sugar for `--speculation static:<L>` (the historical knob).
-            "--retry-limit" => {
-                opts.speculation = SpeculationPolicy::Static {
-                    limit: num("--retry-limit")? as u32,
-                }
-            }
+            "--retry-limit" => retry_limit = Some(num("--retry-limit")? as u32),
             "--speculation" => {
                 let spec = args.next().ok_or("--speculation needs a policy")?;
-                opts.speculation = SpeculationPolicy::parse(&spec)
+                let policy = SpeculationPolicy::parse(&spec)
                     .map_err(|e| format!("--speculation: {e}"))?;
+                spec_flag = Some((spec, policy));
             }
             "--help" | "-h" => return Err("help".into()),
             f if !f.starts_with('-') && opts.file.is_empty() => opts.file = f.to_string(),
@@ -171,6 +205,56 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.file.is_empty() {
         return Err("no input file".into());
+    }
+    if opts.listen.is_some() && opts.connect.is_some() {
+        return Err("--listen and --connect are mutually exclusive".into());
+    }
+    if (opts.listen.is_some() || opts.connect.is_some()) && !opts.rt {
+        return Err("--listen/--connect require --rt (the simulator is single-process)".into());
+    }
+    if (opts.listen.is_some() || opts.connect.is_some()) && opts.workers.is_some() {
+        return Err(
+            "--workers (the sharded executor) is not supported with --listen/--connect: \
+             socket workers host their pid share thread-per-process"
+                .into(),
+        );
+    }
+    if opts.connect.is_some() && opts.sock_worker.is_none() {
+        return Err(
+            "--connect needs --sock-worker <i> (worker processes are normally \
+             spawned by --listen, not by hand)"
+                .into(),
+        );
+    }
+    if opts.sock_worker.is_some() && opts.connect.is_none() {
+        return Err("--sock-worker requires --connect".into());
+    }
+    if let Some(i) = opts.sock_worker {
+        if i >= opts.sock_workers {
+            return Err(format!(
+                "--sock-worker {i} out of range (must be < --sock-workers {})",
+                opts.sock_workers
+            ));
+        }
+    }
+    // `--retry-limit L` is sugar for `--speculation static:L`. Both flags
+    // at once used to let whichever came last win silently; now the
+    // combination is an error unless they agree.
+    match (retry_limit, spec_flag) {
+        (Some(l), Some((spec, policy))) => {
+            if policy != (SpeculationPolicy::Static { limit: l }) {
+                return Err(format!(
+                    "--retry-limit {l} conflicts with --speculation {spec}: \
+                     --retry-limit is sugar for --speculation static:{l}; \
+                     pass one of the two (they may only be combined when \
+                     they agree)"
+                ));
+            }
+            opts.speculation = policy;
+        }
+        (Some(l), None) => opts.speculation = SpeculationPolicy::Static { limit: l },
+        (None, Some((_, policy))) => opts.speculation = policy,
+        (None, None) => {}
     }
     Ok(opts)
 }
@@ -181,7 +265,9 @@ fn usage() {
          [--jitter s] [--seed n] [--timeline] [--show-transform] [--timeout t] \
          [--retry-limit L] [--speculation pessimistic|static:N|adaptive[:k=v,..]] \
          [--forensics] [--inject-lifo] [--inject-phantom] \
-         [--rt] [--workers N] [--chaos spec] [--trace-out path]"
+         [--rt] [--workers N] [--chaos spec] [--trace-out path] \
+         [--listen tcp:host:port|uds:/path] [--sock-workers N] \
+         [--connect addr --sock-worker i]"
     );
 }
 
@@ -270,9 +356,77 @@ fn write_trace(path: &str, json: &str) {
 // Merge-order log equivalence lives in `opcsp_rt::merge_equiv`, shared
 // with the executor differential tests.
 
+/// Re-spawn this binary `workers` times in `--connect` worker mode,
+/// forwarding the original argv minus the parent-only flags (`--listen`,
+/// `--sock-workers`, `--compare`, `--trace-out`) so every worker builds
+/// the same world from the same file with the same protocol knobs.
+fn spawn_sock_workers(addr: &str, workers: usize) -> Result<Vec<std::process::Child>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut forwarded: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listen" | "--sock-workers" | "--trace-out" => {
+                args.next();
+            }
+            "--compare" => {}
+            _ => forwarded.push(a),
+        }
+    }
+    (0..workers)
+        .map(|i| {
+            std::process::Command::new(&exe)
+                .args(&forwarded)
+                .args(["--connect", addr, "--sock-worker", &i.to_string()])
+                .args(["--sock-workers", &workers.to_string()])
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .map_err(|e| format!("cannot spawn worker {i}: {e}"))
+        })
+        .collect()
+}
+
+/// Reap worker children with a bounded wait; a worker that outlives the
+/// parent's own run by this much is wedged and gets killed.
+fn reap_sock_workers(children: Vec<std::process::Child>) -> bool {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut ok = true;
+    for (i, mut child) in children.into_iter().enumerate() {
+        let status = loop {
+            match child.try_wait() {
+                Ok(Some(status)) => break Some(status),
+                Ok(None) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                Ok(None) => {
+                    eprintln!("warning: worker {i} still running at deadline; killing it");
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break None;
+                }
+                Err(e) => {
+                    eprintln!("warning: cannot wait for worker {i}: {e}");
+                    break None;
+                }
+            }
+        };
+        match status {
+            Some(s) if s.success() => {}
+            Some(s) => {
+                eprintln!("warning: worker {i} exited with {s}");
+                ok = false;
+            }
+            None => ok = false,
+        }
+    }
+    ok
+}
+
 /// Run on the real-thread runtime; with `--compare`, check the chaos
 /// differential: the chaotic run's committed logs must equal a fault-free
-/// run's.
+/// run's. With `--listen`/`--connect` the run crosses process boundaries
+/// over a real socket (DESIGN.md §13); the `--compare` baseline is then
+/// an in-process fault-free run of the same world.
 fn run_rt(sys: &System, opts: &Options) -> ExitCode {
     use std::time::Duration;
     let faults = match &opts.chaos {
@@ -290,7 +444,7 @@ fn run_rt(sys: &System, opts: &Options) -> ExitCode {
         },
         None => opcsp_rt::NetFaults::none(),
     };
-    let cfg = |faults: opcsp_rt::NetFaults| opcsp_rt::RtConfig {
+    let cfg = |faults: opcsp_rt::NetFaults, transport: opcsp_rt::RtTransport| opcsp_rt::RtConfig {
         core: opts.core_config(),
         optimism: !opts.pessimistic,
         // Simulator ticks become milliseconds on real threads; a fork
@@ -300,6 +454,7 @@ fn run_rt(sys: &System, opts: &Options) -> ExitCode {
         run_timeout: Duration::from_secs(30),
         faults,
         telemetry: opts.trace_out.is_some(),
+        transport,
         executor: match opts.workers {
             Some(workers) => opcsp_rt::Executor::Sharded { workers },
             None => opcsp_rt::RtConfig::default().executor,
@@ -309,15 +464,87 @@ fn run_rt(sys: &System, opts: &Options) -> ExitCode {
     let names: BTreeMap<ProcessId, String> =
         sys.bindings.iter().map(|(n, p)| (*p, n.clone())).collect();
 
-    let chaotic = sys.rt_world(cfg(faults.clone())).run();
-    let failed = chaotic.timed_out || !chaotic.panicked.is_empty();
+    // Worker mode: host our pid share, stay quiet (the parent owns the
+    // merged result and all reporting), exit by our own success only.
+    if let Some(spec) = &opts.connect {
+        let addr = match opcsp_rt::SockAddr::parse(spec) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: --connect {spec}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let role = opcsp_rt::SockRole::Worker {
+            index: opts.sock_worker.expect("validated at parse"),
+            workers: opts.sock_workers,
+        };
+        let r = sys
+            .rt_world(cfg(faults, opcsp_rt::RtTransport::Socket { addr, role }))
+            .run();
+        return if r.timed_out {
+            eprintln!("error: socket worker timed out");
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    // Parent mode: spawn the worker processes first — they retry their
+    // connect until our listener is up, so order is forgiving — then run
+    // the coordinator, which blocks in accept until all workers arrive.
+    let (transport, children) = match &opts.listen {
+        Some(spec) => {
+            let addr = match opcsp_rt::SockAddr::parse(spec) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: --listen {spec}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if opts.trace_out.is_some() {
+                eprintln!(
+                    "warning: --trace-out is ignored with --listen \
+                     (telemetry events are not shipped over the socket)"
+                );
+            }
+            let children = match spawn_sock_workers(spec, opts.sock_workers) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let role = opcsp_rt::SockRole::Parent {
+                workers: opts.sock_workers,
+            };
+            (opcsp_rt::RtTransport::Socket { addr, role }, children)
+        }
+        None => (opcsp_rt::RtTransport::InProc, Vec::new()),
+    };
+    let multi_process = !children.is_empty();
+
+    let chaotic = sys.rt_world(cfg(faults.clone(), transport)).run();
+    let workers_ok = reap_sock_workers(children);
+    let failed = chaotic.timed_out || !chaotic.panicked.is_empty() || !workers_ok;
     if let Some(path) = &opts.trace_out {
-        write_trace(path, &chaotic.telemetry.to_perfetto_json(&names));
+        if !multi_process {
+            write_trace(path, &chaotic.telemetry.to_perfetto_json(&names));
+        }
     }
     if opts.compare {
-        let baseline = sys.rt_world(cfg(opcsp_rt::NetFaults::none())).run();
-        summarize_rt("fault-free", &names, &baseline);
-        summarize_rt("chaotic   ", &names, &chaotic);
+        let baseline = sys
+            .rt_world(cfg(opcsp_rt::NetFaults::none(), opcsp_rt::RtTransport::InProc))
+            .run();
+        // In multi-process mode the baseline is both fault-free *and*
+        // in-process, so the differential checks the socket transport and
+        // the chaos absorption in one diff.
+        let (base_label, subject_label, diff_label) = if multi_process {
+            ("in-process", "socket    ", "socket differential")
+        } else {
+            ("fault-free", "chaotic   ", "chaos differential")
+        };
+        summarize_rt(base_label, &names, &baseline);
+        summarize_rt(subject_label, &names, &chaotic);
         let mut diverged = false;
         let mut merge_only = false;
         for (p, base_log) in &baseline.logs {
@@ -362,12 +589,12 @@ fn run_rt(sys: &System, opts: &Options) -> ExitCode {
         }
         if merge_only {
             println!(
-                "chaos differential: holds modulo legal fan-in merge order ✓ \
+                "{diff_label}: holds modulo legal fan-in merge order ✓ \
                  (per-link FIFO projections identical; cross-sender \
                  interleaving differs, which is legal CSP nondeterminism)"
             );
         } else {
-            println!("chaos differential: committed logs identical ✓");
+            println!("{diff_label}: committed logs identical ✓");
         }
         if failed {
             ExitCode::FAILURE

@@ -62,6 +62,50 @@ fn valid_speculation_specs_run_the_program() {
 }
 
 #[test]
+fn conflicting_retry_limit_and_speculation_are_a_parse_error() {
+    // Disagreeing combinations must fail loudly, in either flag order —
+    // they used to let whichever flag came last win silently.
+    for args in [
+        ["--retry-limit", "2", "--speculation", "static:5"],
+        ["--speculation", "adaptive", "--retry-limit", "3"],
+        ["--speculation", "pessimistic", "--retry-limit", "1"],
+    ] {
+        let mut full = vec![putline()];
+        full.extend(args.iter().map(|s| s.to_string()));
+        let full: Vec<&str> = full.iter().map(String::as_str).collect();
+        let out = run(&full);
+        assert!(
+            !out.status.success(),
+            "{args:?} must be rejected (status {:?})",
+            out.status
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("--retry-limit") && err.contains("--speculation"),
+            "{args:?}: stderr should name both flags: {err}"
+        );
+    }
+}
+
+#[test]
+fn agreeing_retry_limit_and_speculation_still_run() {
+    let out = run(&[
+        &putline(),
+        "--retry-limit",
+        "2",
+        "--speculation",
+        "static:2",
+        "--latency",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "agreeing flags should run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn retry_limit_is_sugar_for_static() {
     // Same program, same knob spelled both ways: identical summaries.
     let sugar = run(&[&putline(), "--retry-limit", "2", "--latency", "5"]);

@@ -33,6 +33,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Reports flowing from executors back to the coordinating `RtWorld::run`.
+#[derive(Debug, PartialEq)]
 pub(crate) enum Report {
     ClientDone(ProcessId),
     /// Answer to a `Wire::Probe`: the actor's transport counters at probe
@@ -51,6 +52,7 @@ pub(crate) enum Report {
     Final(Box<FinalReport>),
 }
 
+#[derive(Debug, PartialEq)]
 pub(crate) struct FinalReport {
     pub pid: ProcessId,
     pub stats: RtStats,

@@ -21,7 +21,9 @@ mod core_poll;
 pub mod executor;
 pub mod net;
 pub mod runtime;
+pub mod sock;
 
 pub use executor::Executor;
 pub use net::{Delayer, FlushClass, Mailbox, NetFaults, NetStats, Partition, Transport};
 pub use runtime::{merge_equiv, RtConfig, RtResult, RtStats, RtWorld};
+pub use sock::{RtTransport, SockAddr, SockRole};

@@ -57,7 +57,7 @@ pub enum Wire {
 }
 
 /// Protocol payload carried by a reliable frame.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     Data(Envelope),
     Ctrl(Control),
@@ -77,6 +77,13 @@ pub enum Mailbox {
         pid: ProcessId,
         tx: Sender<(ProcessId, Wire)>,
     },
+    /// The process lives in another OS process (`rt::sock`): frames go to
+    /// the local socket-writer pump, which serializes them
+    /// (`core::wire::encode_frame`) and ships them to the parent router.
+    /// Only reliable-sublayer frames cross the wire — timers, ticks,
+    /// probes, and shutdowns are always addressed to *local* actors by
+    /// construction, so anything else arriving here is silently dropped.
+    Remote(Sender<Frame>),
 }
 
 impl Mailbox {
@@ -85,6 +92,10 @@ impl Mailbox {
         match self {
             Mailbox::Direct(tx) => tx.send(w).is_ok(),
             Mailbox::Shard { pid, tx } => tx.send((*pid, w)).is_ok(),
+            Mailbox::Remote(tx) => match w {
+                Wire::Frame(f) => tx.send(f).is_ok(),
+                _ => true,
+            },
         }
     }
 }
@@ -109,7 +120,7 @@ impl DeliverTo<Wire> for Mailbox {
 }
 
 /// One reliable-sublayer frame on the directed link `from → to`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     pub from: ProcessId,
     pub to: ProcessId,
@@ -300,7 +311,22 @@ struct Unacked {
     body: Payload,
     /// Next retransmission due time.
     due: Instant,
-    backoff: Duration,
+    /// Retransmissions so far; the backoff delay is derived from this via
+    /// [`retransmit_backoff`], never accumulated in place.
+    attempts: u32,
+}
+
+/// Exponential retransmit backoff: `rto << attempts`, capped. The shift
+/// exponent is clamped *before* shifting — a frame stuck behind a long
+/// partition can accumulate hundreds of retransmit attempts, and an
+/// unclamped `1 << attempts` overflows (a panic in debug builds) long
+/// before the cap would have kicked in. Clamping at 16 is safe: the cap is
+/// ≤ 500 ms and the base RTO ≥ 8 ms, so every attempt past 6 doublings is
+/// already pinned at the cap.
+pub fn retransmit_backoff(rto: Duration, cap: Duration, attempts: u32) -> Duration {
+    const SHIFT_CLAMP: u32 = 16;
+    let factor = 1u32 << attempts.min(SHIFT_CLAMP);
+    rto.saturating_mul(factor).min(cap).max(rto)
 }
 
 #[derive(Default)]
@@ -401,7 +427,7 @@ impl Transport {
             seq,
             body: body.clone(),
             due: Instant::now() + self.rto,
-            backoff: self.rto,
+            attempts: 0,
         });
         self.unacked_total += 1;
         self.stats.frames_sent += 1;
@@ -521,14 +547,14 @@ impl Transport {
         let peers: Vec<ProcessId> = self.tx.keys().copied().collect();
         for p in peers {
             let due: Vec<(u64, Payload)> = {
-                let cap = self.rto_cap;
+                let (rto, cap) = (self.rto, self.rto_cap);
                 let l = self.tx.get_mut(&p).unwrap();
                 l.unacked
                     .iter_mut()
                     .filter(|u| u.due <= now)
                     .map(|u| {
-                        u.backoff = (u.backoff * 2).min(cap);
-                        u.due = now + u.backoff;
+                        u.attempts = u.attempts.saturating_add(1);
+                        u.due = now + retransmit_backoff(rto, cap, u.attempts);
                         (u.seq, u.body.clone())
                     })
                     .collect()
@@ -928,5 +954,29 @@ mod tests {
         assert!(ta.stats.retransmits > 0, "{:?}", ta.stats);
         assert!(tb.stats.reorder_releases > 0, "{:?}", tb.stats);
         assert_eq!(ta.quiet_probe().2, 0, "everything acked at the end");
+    }
+
+    /// A frame stranded behind a long partition keeps retransmitting far
+    /// past the point where doubling overflows an unclamped shift. Drive
+    /// the backoff through 40+ retransmit attempts (and on past u32 shift
+    /// width): every delay must stay within [rto, cap], be monotonically
+    /// non-decreasing, and reach the cap — with no overflow panic in debug
+    /// builds.
+    #[test]
+    fn backoff_survives_40_plus_retransmits() {
+        let rto = Duration::from_millis(8);
+        let cap = Duration::from_millis(500);
+        let mut prev = Duration::ZERO;
+        for attempts in 0..=100u32 {
+            let d = retransmit_backoff(rto, cap, attempts);
+            assert!(d >= rto && d <= cap, "attempt {attempts}: {d:?}");
+            assert!(d >= prev, "attempt {attempts}: backoff regressed");
+            prev = d;
+        }
+        assert_eq!(retransmit_backoff(rto, cap, 40), cap);
+        assert_eq!(retransmit_backoff(rto, cap, u32::MAX), cap);
+        // Degenerate configs stay sane too: cap below rto pins at rto.
+        let tiny = retransmit_backoff(rto, Duration::from_millis(1), 50);
+        assert_eq!(tiny, rto);
     }
 }

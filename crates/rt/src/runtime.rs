@@ -67,6 +67,14 @@ pub struct RtConfig {
     /// `sharded:N`) if set — so CI can run every existing suite under the
     /// sharded executor unmodified — else [`Executor::Threaded`].
     pub executor: Executor,
+    /// Where the world's processes physically live (DESIGN.md §13):
+    /// [`RtTransport::InProc`] hosts every actor in this OS process over
+    /// in-memory channels (the default, identical to the pre-socket
+    /// runtime); [`RtTransport::Socket`] splits the pid space across
+    /// separate OS processes connected over TCP or a Unix-domain socket,
+    /// with envelopes crossing the wire as binary frames
+    /// (`core::wire::encode_frame`).
+    pub transport: crate::sock::RtTransport,
 }
 
 impl Default for RtConfig {
@@ -81,6 +89,7 @@ impl Default for RtConfig {
             faults: NetFaults::none(),
             telemetry: false,
             executor: Executor::from_env().unwrap_or(Executor::Threaded),
+            transport: crate::sock::RtTransport::InProc,
         }
     }
 }
@@ -165,9 +174,9 @@ pub struct RtResult {
 
 /// Builder/handle for a runtime world.
 pub struct RtWorld {
-    cfg: RtConfig,
-    behaviors: Vec<Arc<dyn Behavior>>,
-    is_client: Vec<bool>,
+    pub(crate) cfg: RtConfig,
+    pub(crate) behaviors: Vec<Arc<dyn Behavior>>,
+    pub(crate) is_client: Vec<bool>,
 }
 
 impl RtWorld {
@@ -198,8 +207,19 @@ impl RtWorld {
     }
 
     /// Run to completion (all clients finished + network drained) or
-    /// timeout.
+    /// timeout. [`RtTransport::Socket`](crate::sock::RtTransport::Socket)
+    /// worlds are handed to the socket runtime (`rt::sock`); everything
+    /// else runs in-process over memory channels.
     pub fn run(self) -> RtResult {
+        match self.cfg.transport.clone() {
+            crate::sock::RtTransport::InProc => self.run_inproc(),
+            crate::sock::RtTransport::Socket { addr, role } => {
+                crate::sock::run_socket(self, addr, role)
+            }
+        }
+    }
+
+    fn run_inproc(self) -> RtResult {
         let n = self.behaviors.len();
         let cfg = Arc::new(self.cfg);
         let delayer: Arc<Delayer<Wire>> = Arc::new(Delayer::spawn());
@@ -235,6 +255,12 @@ impl RtWorld {
         let mut timed_out = false;
         let mut all_dead = false;
         while !waiting.is_empty() {
+            // A dead client will never report done — waiting for it would
+            // stall the whole run until `run_timeout`.
+            waiting.retain(|p| !coord.dead.contains(p));
+            if waiting.is_empty() {
+                break;
+            }
             match coord.recv_deadline(deadline) {
                 Step::Got(Report::ClientDone(pid)) => {
                     waiting.remove(&pid);
@@ -357,16 +383,16 @@ impl RtWorld {
 /// derive the remaining timeout identically and none can spin on a
 /// zero-duration `recv_timeout` near the deadline. `Panicked` reports are
 /// absorbed here — every phase learns about actor deaths the same way.
-struct Coord {
-    rx: Receiver<Report>,
+pub(crate) struct Coord {
+    pub(crate) rx: Receiver<Report>,
     /// Panic payloads, attributed to pids.
-    panics: BTreeMap<ProcessId, String>,
+    pub(crate) panics: BTreeMap<ProcessId, String>,
     /// Actors known dead (panicked): they answer no probe and send no
     /// final report.
-    dead: BTreeSet<ProcessId>,
+    pub(crate) dead: BTreeSet<ProcessId>,
 }
 
-enum Step {
+pub(crate) enum Step {
     /// A report other than `Panicked` (those are absorbed into `Coord`).
     Got(Report),
     DeadlineHit,
@@ -375,7 +401,15 @@ enum Step {
 }
 
 impl Coord {
-    fn recv_deadline(&mut self, deadline: Instant) -> Step {
+    pub(crate) fn new(rx: Receiver<Report>) -> Coord {
+        Coord {
+            rx,
+            panics: BTreeMap::new(),
+            dead: BTreeSet::new(),
+        }
+    }
+
+    pub(crate) fn recv_deadline(&mut self, deadline: Instant) -> Step {
         loop {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
@@ -400,24 +434,47 @@ impl Coord {
 /// flight and nothing happened, anywhere, between the two snapshots.
 /// Returns false if `deadline` expires first.
 fn drain_to_quiescence(world: &Running, coord: &mut Coord, deadline: Instant) -> bool {
-    let mut prev: Option<Vec<(ProcessId, u64, u64)>> = None;
+    drain_rounds(
+        coord,
+        deadline,
+        |dead| world.live_pids(dead),
+        |round, live| {
+            for i in live {
+                let _ = world.net[*i].send(Wire::Probe(round));
+            }
+        },
+    )
+}
+
+/// Transport-agnostic core of the quiescence drain: `live` reports the
+/// pids that can still answer a probe (given the coordinator's dead set),
+/// `probe` broadcasts round `r` to them. The in-proc runtime probes
+/// mailboxes directly; the socket parent (`rt::sock`) writes probe frames
+/// to worker connections and lets each worker fan out locally. The
+/// quiescence criterion is identical either way.
+pub(crate) fn drain_rounds(
+    coord: &mut Coord,
+    deadline: Instant,
+    mut live: impl FnMut(&BTreeSet<ProcessId>) -> Vec<usize>,
+    mut probe: impl FnMut(u64, &[usize]),
+) -> bool {
+    let mut prev: Option<Vec<(ProcessId, u64, u64, u64)>> = None;
+    let mut stable_rounds: u32 = 0;
     let mut round: u64 = 0;
     loop {
         if Instant::now() >= deadline {
             return false;
         }
         round += 1;
-        let live = world.live_pids(&coord.dead);
-        if live.is_empty() {
+        let live_pids = live(&coord.dead);
+        if live_pids.is_empty() {
             // Everyone already exited (panic wave): nothing left to drain.
             return true;
         }
-        for i in &live {
-            let _ = world.net[*i].send(Wire::Probe(round));
-        }
+        probe(round, &live_pids);
         let mut replies: BTreeMap<ProcessId, (u64, u64, u64)> = BTreeMap::new();
         let round_deadline = (Instant::now() + Duration::from_millis(200)).min(deadline);
-        while replies.len() < live.len() {
+        while replies.len() < live_pids.len() {
             match coord.recv_deadline(round_deadline) {
                 Step::Got(Report::Quiet {
                     pid,
@@ -435,15 +492,30 @@ fn drain_to_quiescence(world: &Running, coord: &mut Coord, deadline: Instant) ->
         }
         // Re-derive liveness: an actor that died mid-round must not block
         // completeness forever.
-        let live_now = world.live_pids(&coord.dead);
+        let live_now = live(&coord.dead);
         let complete = !live_now.is_empty()
             && live_now
                 .iter()
                 .all(|i| replies.contains_key(&ProcessId(*i as u32)));
         let unacked: u64 = replies.values().map(|v| v.2).sum();
-        let counters: Vec<(ProcessId, u64, u64)> =
-            replies.iter().map(|(p, v)| (*p, v.0, v.1)).collect();
-        if complete && unacked == 0 && prev.as_ref() == Some(&counters) {
+        let counters: Vec<(ProcessId, u64, u64, u64)> =
+            replies.iter().map(|(p, v)| (*p, v.0, v.1, v.2)).collect();
+        if complete && prev.as_ref() == Some(&counters) {
+            stable_rounds += 1;
+        } else {
+            stable_rounds = 0;
+        }
+        if complete && unacked == 0 && stable_rounds >= 1 {
+            return true;
+        }
+        // Dead-peer tolerance: control messages are disseminated to every
+        // process, so frames addressed to a dead (panicked or crashed)
+        // actor stay unacked forever — strict quiescence is unreachable
+        // the moment anyone dies. If deaths were reported and *nothing*
+        // has moved (counters AND unacked byte-stable) for several
+        // complete rounds, the remaining unacked frames are undeliverable
+        // and the drain is as done as it can be.
+        if !coord.dead.is_empty() && stable_rounds >= 3 {
             return true;
         }
         prev = if complete { Some(counters) } else { None };

@@ -1,0 +1,306 @@
+//! Socket-transport differential tests (DESIGN.md §13): a world split
+//! across a parent and worker *runtimes* connected over a real socket
+//! must commit logs merge-equivalent to the same world run in-process.
+//!
+//! Parent and workers run as threads of this test process, each calling
+//! `RtWorld::run()` with its own `RtTransport::Socket` role — the full
+//! handshake, frame codec, routing, quiescence drain, and final
+//! collection paths are exercised over a real Unix-domain (and, in one
+//! smoke test, TCP) socket; only `fork(2)` is skipped. The CLI test in
+//! `crates/lang/tests/cli_sock.rs` covers true multi-process runs.
+//!
+//! Chaos runs on the socket path reuse the fault-free in-proc run as the
+//! oracle, under merge-order tolerance ([`opcsp_rt::merge_equiv`]): the
+//! chaos layer lives inside each actor's transport, so the socket hop
+//! underneath it must not change what commits.
+
+use opcsp_core::ProcessId;
+use opcsp_rt::{
+    merge_equiv, NetFaults, RtConfig, RtResult, RtTransport, RtWorld, SockAddr, SockRole,
+};
+use opcsp_workloads::chain::OptimisticForwarder;
+use opcsp_workloads::servers::Server;
+use opcsp_workloads::streaming::PutLineClient;
+use std::time::Duration;
+
+fn base_cfg(faults: NetFaults, transport: RtTransport) -> RtConfig {
+    RtConfig {
+        optimism: true,
+        latency: Duration::from_millis(2),
+        fork_timeout: Duration::from_secs(5),
+        run_timeout: Duration::from_secs(30),
+        faults,
+        transport,
+        ..RtConfig::default()
+    }
+}
+
+fn chaos(seed: u64) -> NetFaults {
+    NetFaults {
+        seed,
+        drop: 0.15,
+        dup: 0.1,
+        reorder: 3,
+        partitions: vec![],
+    }
+}
+
+/// `streaming`: putline client → server. `chain`: client → 2 forwarding
+/// hops → terminal server. Both cross the worker boundary for any split.
+fn build_world(workload: &str, cfg: RtConfig) -> RtWorld {
+    let mut w = RtWorld::new(cfg);
+    match workload {
+        "streaming" => {
+            w.add_process(PutLineClient::new(8), true);
+            w.add_process(Server::new("S", 0), false);
+        }
+        "chain" => {
+            w.add_process(PutLineClient::to(4, ProcessId(1)), true);
+            for hop in 1..=2u32 {
+                w.add_process(
+                    OptimisticForwarder {
+                        name: format!("Hop{hop}"),
+                        downstream: ProcessId(hop + 1),
+                        compute: 0,
+                    },
+                    false,
+                );
+            }
+            w.add_process(Server::new("Terminal", 0), false);
+        }
+        other => panic!("unknown workload {other}"),
+    }
+    w
+}
+
+fn fresh_uds(tag: &str) -> SockAddr {
+    let p = std::env::temp_dir().join(format!("opcsp-rt-sock-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    SockAddr::parse(&format!("uds:{}", p.display())).expect("uds addr")
+}
+
+/// Run `workload` split across `workers` worker runtimes plus a parent,
+/// all threads of this process, over `addr`. Returns the parent's
+/// (authoritative) result.
+fn run_over_socket(
+    workload: &str,
+    faults: NetFaults,
+    addr: SockAddr,
+    workers: usize,
+) -> RtResult {
+    let mut handles = Vec::new();
+    for index in 0..workers {
+        let addr = addr.clone();
+        let faults = faults.clone();
+        let workload = workload.to_string();
+        handles.push(std::thread::spawn(move || {
+            let cfg = base_cfg(
+                faults,
+                RtTransport::Socket {
+                    addr,
+                    role: SockRole::Worker { index, workers },
+                },
+            );
+            build_world(&workload, cfg).run()
+        }));
+    }
+    let cfg = base_cfg(
+        NetFaults::none(),
+        RtTransport::Socket {
+            addr,
+            role: SockRole::Parent { workers },
+        },
+    );
+    let result = build_world(workload, cfg).run();
+    for h in handles {
+        let w = h.join().expect("worker thread");
+        assert!(!w.timed_out, "worker runtime timed out");
+    }
+    result
+}
+
+fn run_inproc(workload: &str, faults: NetFaults) -> RtResult {
+    build_world(workload, base_cfg(faults, RtTransport::InProc)).run()
+}
+
+fn assert_clean(r: &RtResult, label: &str) {
+    assert!(!r.timed_out, "{label}: timed out ({:?})", r.stats);
+    assert!(r.panicked.is_empty(), "{label}: panics {:?}", r.panics);
+    assert!(
+        r.stragglers.is_empty(),
+        "{label}: stragglers {:?}",
+        r.stragglers
+    );
+}
+
+/// In-proc (fault-free) vs socket (chaos): per-process merge-equivalent
+/// committed logs, equal external output multisets.
+fn assert_socket_matches_inproc(base: &RtResult, sock: &RtResult, label: &str) {
+    assert_eq!(
+        base.logs.keys().collect::<Vec<_>>(),
+        sock.logs.keys().collect::<Vec<_>>(),
+        "{label}: process sets differ"
+    );
+    for (p, log) in &base.logs {
+        assert!(
+            merge_equiv(log, &sock.logs[p]),
+            "{label}: log of {p} not merge-equivalent\n base: {log:?}\n sock: {:?}",
+            sock.logs[p]
+        );
+    }
+    let multiset = |r: &RtResult| {
+        let mut v: Vec<String> = r.external.iter().map(|(p, x)| format!("{p:?}:{x:?}")).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(multiset(base), multiset(sock), "{label}: externals diverged");
+}
+
+#[test]
+fn streaming_over_uds_with_chaos_matches_inproc() {
+    let base = run_inproc("streaming", NetFaults::none());
+    assert_clean(&base, "in-proc streaming");
+    for seed in [11u64, 12] {
+        let addr = fresh_uds(&format!("streaming-{seed}"));
+        let sock = run_over_socket("streaming", chaos(seed), addr, 2);
+        assert_clean(&sock, &format!("socket streaming seed {seed}"));
+        assert_socket_matches_inproc(&base, &sock, &format!("streaming seed {seed}"));
+        assert!(
+            sock.stats.retransmits > 0 || sock.stats.drops_injected == 0,
+            "seed {seed}: chaos dropped frames but nothing retransmitted"
+        );
+    }
+}
+
+#[test]
+fn chain_over_uds_with_chaos_matches_inproc() {
+    let base = run_inproc("chain", NetFaults::none());
+    assert_clean(&base, "in-proc chain");
+    for seed in [21u64, 22] {
+        let addr = fresh_uds(&format!("chain-{seed}"));
+        let sock = run_over_socket("chain", chaos(seed), addr, 2);
+        assert_clean(&sock, &format!("socket chain seed {seed}"));
+        assert_socket_matches_inproc(&base, &sock, &format!("chain seed {seed}"));
+    }
+}
+
+#[test]
+fn chain_split_three_ways_fault_free_matches_inproc() {
+    // 4 pids over 3 workers: ranges 0..1, 1..2, 2..4 — every hop of the
+    // chain crosses a worker boundary at least once.
+    let base = run_inproc("chain", NetFaults::none());
+    let addr = fresh_uds("chain-3w");
+    let sock = run_over_socket("chain", NetFaults::none(), addr, 3);
+    assert_clean(&sock, "socket chain 3 workers");
+    assert_socket_matches_inproc(&base, &sock, "chain 3 workers");
+}
+
+#[test]
+fn streaming_over_tcp_matches_inproc() {
+    // Reserve a port by binding to :0, then release it for the parent.
+    // (Small race, but loopback port reuse makes it practically safe.)
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("probe port");
+        l.local_addr().expect("local addr").port()
+    };
+    let addr = SockAddr::parse(&format!("tcp:127.0.0.1:{port}")).expect("tcp addr");
+    let base = run_inproc("streaming", NetFaults::none());
+    let sock = run_over_socket("streaming", NetFaults::none(), addr, 2);
+    assert_clean(&sock, "socket streaming tcp");
+    assert_socket_matches_inproc(&base, &sock, "streaming tcp");
+}
+
+#[test]
+fn worker_crash_reports_its_pids_as_panicked() {
+    // Two independent client→server pairs, split so each pair is local
+    // to one worker: pids 0,1 on worker 0 (real), pids 2,3 on worker 1 —
+    // which here is an impostor that completes the handshake and then
+    // drops the connection (EOF without Bye = crashed worker).
+    let addr = fresh_uds("crash");
+    let workers = 2usize;
+    let make_world = |cfg: RtConfig| {
+        let mut w = RtWorld::new(cfg);
+        w.add_process(PutLineClient::to(3, ProcessId(1)), true);
+        w.add_process(Server::new("S0", 0), false);
+        w.add_process(PutLineClient::to(3, ProcessId(3)), true);
+        w.add_process(Server::new("S1", 0), false);
+        w
+    };
+
+    let worker0 = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let cfg = base_cfg(
+                NetFaults::none(),
+                RtTransport::Socket {
+                    addr,
+                    role: SockRole::Worker { index: 0, workers },
+                },
+            );
+            make_world(cfg).run()
+        })
+    };
+    let impostor = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            use std::io::Write;
+            let SockAddr::Uds(path) = &addr else {
+                panic!("uds expected")
+            };
+            // Hand-rolled Hello{index:1, workers:2, n:4, lo:2, hi:4}:
+            // u32le len | version | tag | five single-byte uvarints.
+            let body = [1u8, 0, 1, 2, 4, 2, 4];
+            let mut msg = (body.len() as u32).to_le_bytes().to_vec();
+            msg.extend_from_slice(&body);
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            let mut s = loop {
+                match std::os::unix::net::UnixStream::connect(path) {
+                    Ok(s) => break s,
+                    Err(e) if std::time::Instant::now() >= deadline => {
+                        panic!("impostor connect: {e}")
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                }
+            };
+            s.write_all(&msg).expect("impostor hello");
+            // Wait for Start so worker 0 is definitely running, then crash.
+            use std::io::Read;
+            let mut buf = [0u8; 6];
+            let _ = s.read(&mut buf);
+            drop(s);
+        })
+    };
+
+    let cfg = base_cfg(
+        NetFaults::none(),
+        RtTransport::Socket {
+            addr,
+            role: SockRole::Parent { workers },
+        },
+    );
+    let parent = make_world(cfg).run();
+    worker0.join().expect("worker 0");
+    impostor.join().expect("impostor");
+
+    assert!(
+        !parent.timed_out,
+        "a crashed worker must fail fast, not stall to run_timeout\n panicked: {:?}\n panics: {:?}\n logs: {:?}\n wall: {:?}",
+        parent.panicked, parent.panics, parent.logs.keys().collect::<Vec<_>>(), parent.wall
+    );
+    assert_eq!(
+        parent.panicked,
+        vec![ProcessId(2), ProcessId(3)],
+        "the impostor's pid range must be reported panicked: {:?}",
+        parent.panics
+    );
+    for pid in [ProcessId(2), ProcessId(3)] {
+        assert!(
+            parent.panics[&pid].contains("connection"),
+            "panic message should blame the connection: {:?}",
+            parent.panics[&pid]
+        );
+    }
+    // The healthy pair still committed.
+    assert!(parent.logs.contains_key(&ProcessId(0)));
+    assert!(parent.logs.contains_key(&ProcessId(1)));
+}
