@@ -4,8 +4,8 @@
 //!   figures             — everything
 //!   figures fig3 e1 t1  — selected items
 //!
-//! Items: fig1..fig7, e1, e2, e3, e4, e5, e6, e8, e9, e10, e12, chain,
-//! t1, interner, lifecycle (overall + per-site), scaling.
+//! Items: fig1..fig7, e1, e2, e3, e4, e5, e6, e8, e9, e10, e12, e13,
+//! chain, t1, interner, lifecycle (overall + per-site), scaling.
 
 use opcsp_bench::experiments as ex;
 
@@ -48,6 +48,7 @@ fn main() {
         ("lifecycle", ex::lifecycle_stats),
         ("lifecycle", ex::lifecycle_site_stats),
         ("e12", ex::e12_contention_sweep),
+        ("e13", ex::e13_explore),
         ("scaling", ex::scaling),
     ];
     for (name, f) in tables {

@@ -18,9 +18,20 @@
 //!                        adaptive[:target=0.7,min=0,max=16,alpha=0.5,
 //!                        cooloff=4] — the adaptive form runs the
 //!                        per-fork-site controller (core::speculation)
-//!   --forensics          on divergence, print a first-divergence report
-//!                        with a happens-before chain and a ddmin-shrunk
-//!                        minimal latency schedule
+//!   --explore            bounded systematic schedule exploration: drive
+//!                        the optimistic engine through every partial-
+//!                        order-distinct delivery schedule (within the
+//!                        bounds), Theorem-1-checking each against one
+//!                        pessimistic reference — exhaustion instead of
+//!                        seed luck. Exit 2 with a shrunk forcing script
+//!                        on a violation. Subsumes --compare.
+//!   --depth <k>          (with --explore) per-receiver branch-position
+//!                        bound                               [default 8]
+//!   --budget <n>         (with --explore) max forced runs [default 4096]
+//!   --forensics          on a --compare/--explore divergence, print a
+//!                        first-divergence report with a happens-before
+//!                        chain and a ddmin-shrunk minimal latency
+//!                        schedule
 //!   --inject-lifo        deliberately scramble optimistic delivery (LIFO
 //!                        pooled pick + non-FIFO links); the protocol's
 //!                        precedence machinery should absorb this
@@ -76,8 +87,9 @@
 use opcsp_core::{CoreConfig, ProcessId, SpeculationPolicy};
 use opcsp_lang::{parse_program, program_to_string, System};
 use opcsp_sim::{
-    check_theorem1, first_divergence, happens_before_chain, render_report, shrink_schedule,
-    DivergenceReport, FaultInjection, LatencyModel, SimConfig, SimResult, Theorem1Verdict,
+    check_theorem1, explore, first_divergence, happens_before_chain, render_report,
+    render_schedule, shrink_schedule, DivergenceReport, ExploreOpts, FaultInjection, LatencyModel,
+    SimConfig, SimResult, Theorem1Verdict,
 };
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -94,6 +106,9 @@ struct Options {
     show_transform: bool,
     timeout: u64,
     speculation: SpeculationPolicy,
+    explore: bool,
+    depth: Option<usize>,
+    budget: Option<usize>,
     forensics: bool,
     inject_lifo: bool,
     inject_phantom: bool,
@@ -128,6 +143,9 @@ fn parse_args() -> Result<Options, String> {
         show_transform: false,
         timeout: 100_000,
         speculation: SpeculationPolicy::default(),
+        explore: false,
+        depth: None,
+        budget: None,
         forensics: false,
         inject_lifo: false,
         inject_phantom: false,
@@ -155,6 +173,15 @@ fn parse_args() -> Result<Options, String> {
             "--compare" => opts.compare = true,
             "--timeline" => opts.timeline = true,
             "--show-transform" => opts.show_transform = true,
+            "--explore" => opts.explore = true,
+            "--depth" => opts.depth = Some(num("--depth")? as usize),
+            "--budget" => {
+                let b = num("--budget")? as usize;
+                if b == 0 {
+                    return Err("--budget must be >= 1".into());
+                }
+                opts.budget = Some(b);
+            }
             "--forensics" => opts.forensics = true,
             "--inject-lifo" => opts.inject_lifo = true,
             "--inject-phantom" => opts.inject_phantom = true,
@@ -237,6 +264,65 @@ fn parse_args() -> Result<Options, String> {
             ));
         }
     }
+    // Ineffective flag combinations are parse errors naming the supported
+    // path — several of these used to be accepted and silently ignored.
+    if opts.explore && opts.rt {
+        return Err(
+            "--explore runs bounded schedule exploration in the simulator; \
+             it cannot steer real threads. Drop --rt (the rt differential \
+             is --rt --compare)"
+                .into(),
+        );
+    }
+    if opts.explore && opts.compare {
+        return Err(
+            "--explore subsumes --compare (every explored schedule is \
+             Theorem-1-checked against the pessimistic reference); pass \
+             one of the two"
+                .into(),
+        );
+    }
+    if opts.explore && opts.pessimistic {
+        return Err(
+            "--explore drives the optimistic engine against a pessimistic \
+             reference it builds itself; drop --pessimistic"
+                .into(),
+        );
+    }
+    if (opts.depth.is_some() || opts.budget.is_some()) && !opts.explore {
+        return Err("--depth/--budget bound --explore; add --explore".into());
+    }
+    if opts.forensics && opts.rt {
+        return Err(
+            "--forensics reports on a simulator Theorem-1 divergence; the \
+             rt chaos differential has no forensics pipeline. Drop --rt \
+             and use --compare or --explore"
+                .into(),
+        );
+    }
+    if opts.forensics && !opts.compare && !opts.explore {
+        return Err(
+            "--forensics only fires on a Theorem-1 divergence; add \
+             --compare or --explore"
+                .into(),
+        );
+    }
+    if (opts.inject_lifo || opts.inject_phantom) && opts.rt {
+        return Err(
+            "--inject-lifo/--inject-phantom are simulator fault \
+             injections; --rt never consults them. Drop --rt to \
+             demonstrate the fault (e.g. --compare --inject-phantom)"
+                .into(),
+        );
+    }
+    if (opts.inject_lifo || opts.inject_phantom) && opts.pessimistic && !opts.compare {
+        return Err(
+            "--inject-lifo/--inject-phantom only perturb the optimistic \
+             engine; a --pessimistic run never speculates. Drop \
+             --pessimistic or use --compare/--explore"
+                .into(),
+        );
+    }
     // `--retry-limit L` is sugar for `--speculation static:L`. Both flags
     // at once used to let whichever came last win silently; now the
     // combination is an error unless they agree.
@@ -264,6 +350,7 @@ fn usage() {
         "usage: opcsp-run <file.csp> [--pessimistic] [--compare] [--latency d] \
          [--jitter s] [--seed n] [--timeline] [--show-transform] [--timeout t] \
          [--retry-limit L] [--speculation pessimistic|static:N|adaptive[:k=v,..]] \
+         [--explore [--depth k] [--budget n]] \
          [--forensics] [--inject-lifo] [--inject-phantom] \
          [--rt] [--workers N] [--chaos spec] [--trace-out path] \
          [--listen tcp:host:port|uds:/path] [--sock-workers N] \
@@ -699,6 +786,81 @@ fn main() -> ExitCode {
     let names: BTreeMap<ProcessId, String> =
         sys.bindings.iter().map(|(n, p)| (*p, n.clone())).collect();
 
+    if opts.explore {
+        let eopts = ExploreOpts {
+            depth: opts.depth.unwrap_or(8),
+            budget: opts.budget.unwrap_or(4096),
+        };
+        let out = explore(&cfg(true), &cfg(false), &|c| sys.run(c.clone()), &eopts);
+        let s = &out.stats;
+        println!(
+            "explore: {} forced runs, {} distinct schedules \
+             ({} duplicate, {} infeasible), {} oracle replays",
+            s.runs_executed,
+            s.distinct_schedules,
+            s.duplicate_schedules,
+            s.infeasible_scripts,
+            s.oracle_runs,
+        );
+        println!(
+            "reduction: {:.3e} naive FIFO interleavings → {} explored ({:.1}×{})",
+            s.naive_interleavings,
+            s.distinct_schedules,
+            s.reduction_factor(),
+            if s.complete {
+                ", exhaustive within bounds"
+            } else {
+                ", bounds NOT exhausted"
+            },
+        );
+        if s.unused_overrides > 0 {
+            println!(
+                "WARNING: {} scripted latency override(s) were never drawn — \
+                 the latency script drifted from the workload and tested nothing",
+                s.unused_overrides
+            );
+        }
+        return match out.violation {
+            None => {
+                if s.complete {
+                    println!(
+                        "Theorem 1: holds on every schedule within depth {} ✓",
+                        eopts.depth
+                    );
+                } else {
+                    println!(
+                        "Theorem 1: holds on every explored schedule \
+                         (budget {} exhausted before the space — raise --budget)",
+                        eopts.budget
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Some(v) => {
+                eprintln!(
+                    "Theorem 1 DIVERGENCE (engine bug!): exploration found a \
+                     delivery order no sequential execution reproduces"
+                );
+                eprintln!(
+                    "minimal forcing script ({} shrink runs): {}",
+                    v.shrink_tests,
+                    render_schedule(&v.minimal_script, &names)
+                );
+                eprintln!(
+                    "realised schedule: {}",
+                    render_schedule(&v.schedule, &names)
+                );
+                if opts.forensics {
+                    eprint!("{}", render_report(&v.report, &names));
+                } else {
+                    eprint!("{}", v.replay.render(&names));
+                    eprintln!("(re-run with --forensics for a full report)");
+                }
+                ExitCode::from(2)
+            }
+        };
+    }
+
     if opts.compare {
         let pess = sys.run(cfg(false));
         let opt = sys.run(cfg(true));
@@ -770,6 +932,7 @@ fn main() -> ExitCode {
                         first,
                         chain,
                         shrunk,
+                        unused_overrides: opt.unused_overrides.clone(),
                     };
                     eprint!("{}", render_report(&report, &names));
                 } else {

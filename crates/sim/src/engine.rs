@@ -83,6 +83,16 @@ pub struct SimConfig {
     /// run is legal iff its committed schedule replays to the same logs on
     /// the sequential engine.
     pub delivery_schedule: Option<Arc<DeliverySchedule>>,
+    /// Force the *first* `explore_prefix[p]` non-return deliveries at each
+    /// process `p` to come from the named peers, holding other candidates
+    /// until the wanted sender's oldest message is available; past the
+    /// prefix the normal delivery policy applies. Same hold semantics as
+    /// [`SimConfig::delivery_schedule`] (which it shadows when both are
+    /// set), but rollback-aware: when a rollback or discard returns
+    /// consumed messages to the pool, the per-process position rewinds, so
+    /// the forced choices re-apply on re-delivery. That makes it valid
+    /// under `optimism: true` — it is `sim::explore`'s steering wheel.
+    pub explore_prefix: Option<Arc<DeliverySchedule>>,
     /// Deliberate misbehavior for oracle-teeth tests.
     pub fault: FaultInjection,
 }
@@ -99,6 +109,7 @@ impl Default for SimConfig {
             checkpoint_every: 1,
             max_events: 5_000_000,
             delivery_schedule: None,
+            explore_prefix: None,
             fault: FaultInjection::None,
         }
     }
@@ -370,6 +381,16 @@ pub struct SimResult {
     pub latency_draws: Vec<(DrawKey, u64)>,
     /// Per-process guess-resolution provenance (owners only).
     pub resolutions: BTreeMap<ProcessId, Vec<GuessResolution>>,
+    /// Senders of data (non-return) messages still pooled undelivered at
+    /// quiescence, in arrival-id order. Normally empty; non-empty when a
+    /// forced order ([`SimConfig::explore_prefix`] /
+    /// [`SimConfig::delivery_schedule`]) held candidates for a sender that
+    /// never obliged — the explorer's infeasible-branch signal.
+    pub undelivered: BTreeMap<ProcessId, Vec<ProcessId>>,
+    /// Scripted latency overrides ([`LatencyModel::Scripted`]) whose
+    /// [`DrawKey`] was never drawn this run: the script drifted from the
+    /// workload and those entries tested nothing. Empty for other models.
+    pub unused_overrides: Vec<DrawKey>,
     /// Unified lifecycle event stream (`core::telemetry`): fork→resolution
     /// spans, rollback depth/wasted-step attribution, commit waves,
     /// deliveries and orphan drops. Always recorded by the simulator (it
@@ -412,8 +433,9 @@ pub struct World {
     /// are order-preserving; only `LatencyModel::JitterUnordered` opts
     /// out, preserving the legacy free-reordering network).
     link_heads: BTreeMap<(ProcessId, ProcessId), VTime>,
-    /// Position in `cfg.delivery_schedule` per process (non-return
-    /// receives consumed so far).
+    /// Position in `cfg.delivery_schedule` / `cfg.explore_prefix` per
+    /// process (non-return receives currently consumed; rewound when a
+    /// rollback or discard returns consumed messages to the pool).
     sched_pos: BTreeMap<ProcessId, usize>,
     /// Unified lifecycle event sink (`core::telemetry`).
     tele: Telemetry,
@@ -544,6 +566,19 @@ impl World {
         let mut provenance = BTreeMap::new();
         let mut resolutions = BTreeMap::new();
         let mut unresolved = Vec::new();
+        let mut undelivered = BTreeMap::new();
+        for p in &self.procs {
+            let mut left: Vec<(u64, ProcessId)> = p
+                .pool
+                .iter()
+                .filter(|m| !m.kind.is_return())
+                .map(|m| (m.id.0, m.from))
+                .collect();
+            if !left.is_empty() {
+                left.sort_unstable();
+                undelivered.insert(p.id, left.into_iter().map(|(_, f)| f).collect());
+            }
+        }
         for p in &self.procs {
             let mut log = Vec::new();
             let mut meta = Vec::new();
@@ -579,6 +614,8 @@ impl World {
             provenance,
             latency_draws: self.latency.draws().to_vec(),
             resolutions,
+            undelivered,
+            unused_overrides: self.latency.unused_overrides(),
             telemetry: self.tele,
         }
     }
@@ -1226,9 +1263,15 @@ impl World {
             if candidates.is_empty() {
                 continue;
             }
-            // Schedule replay: serve the scheduled peer's oldest message,
-            // or hold this thread until it arrives.
-            if let Some(sched) = &self.cfg.delivery_schedule {
+            // Forced order (explorer prefix, or full schedule replay):
+            // serve the scheduled peer's oldest message, or hold this
+            // thread until it arrives.
+            let forced = self
+                .cfg
+                .explore_prefix
+                .as_ref()
+                .or(self.cfg.delivery_schedule.as_ref());
+            if let Some(sched) = forced {
                 if let Some(order) = sched.get(&pid) {
                     let pos = self.sched_pos.get(&pid).copied().unwrap_or(0);
                     if let Some(&want) = order.get(pos) {
@@ -1342,6 +1385,18 @@ impl World {
             now.max(self.procs[pid.0 as usize].threads[&tid].clock),
             Resume::Msg(env),
         );
+    }
+
+    /// Rewind the forced-order position after `n` non-return deliveries
+    /// were returned to the pool by a rollback or discard, so a forced
+    /// prefix (`cfg.explore_prefix`) re-applies when they are re-delivered.
+    fn rewind_sched_pos(&mut self, pid: ProcessId, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if let Some(pos) = self.sched_pos.get_mut(&pid) {
+            *pos = pos.saturating_sub(n);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1471,9 +1526,14 @@ impl World {
             let p = &mut self.procs[pid.0 as usize];
             if let Some(mut th) = p.threads.remove(tid) {
                 th.epoch += 1;
+                let mut repooled_data = 0usize;
                 for (_, env) in th.consumed.drain(..) {
+                    if !env.kind.is_return() {
+                        repooled_data += 1;
+                    }
                     p.pool.push(env);
                 }
+                self.rewind_sched_pos(pid, repooled_data);
                 self.tele.record(TelemetryEvent::Discard {
                     t: now,
                     process: pid,
@@ -1569,9 +1629,14 @@ impl World {
         th.out_buf.truncate(meta.out_buf_len);
         th.epoch += 1;
         th.clock = th.clock.max(now);
+        let mut repooled_data = 0usize;
         for (_, env) in th.consumed.split_off(meta.consumed_len) {
+            if !env.kind.is_return() {
+                repooled_data += 1;
+            }
             p.pool.push(env);
         }
+        self.rewind_sched_pos(pid, repooled_data);
         let t = self.tid(pid, tid);
         self.trace.push(TraceEvent::Rollback {
             t: now,

@@ -274,6 +274,8 @@ mod tests {
             provenance: BTreeMap::new(),
             latency_draws: Vec::new(),
             resolutions: BTreeMap::new(),
+            undelivered: BTreeMap::new(),
+            unused_overrides: Vec::new(),
             telemetry: opcsp_core::Telemetry::default(),
         }
     }

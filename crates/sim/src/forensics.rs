@@ -72,6 +72,11 @@ pub struct DivergenceReport {
     pub first: FirstDivergence,
     pub chain: Vec<HbStep>,
     pub shrunk: Option<ShrunkSchedule>,
+    /// Scripted latency overrides the reproducer run never drew
+    /// ([`crate::engine::SimResult::unused_overrides`]): a reproducer
+    /// whose script drifted from the workload is reported loudly instead
+    /// of quietly testing nothing.
+    pub unused_overrides: Vec<DrawKey>,
 }
 
 /// Locate the earliest divergent committed event and attach provenance.
@@ -407,6 +412,17 @@ pub fn render_report(report: &DivergenceReport, names: &BTreeMap<ProcessId, Stri
                 name(*from),
                 name(*to),
             );
+        }
+    }
+    if !report.unused_overrides.is_empty() {
+        let _ = writeln!(
+            out,
+            "WARNING: {} scripted latency override(s) were never drawn \
+             (the script drifted from the workload and tested nothing):",
+            report.unused_overrides.len()
+        );
+        for (from, to, k) in &report.unused_overrides {
+            let _ = writeln!(out, "  {}→{} transmission #{k}", name(*from), name(*to));
         }
     }
     out

@@ -271,6 +271,25 @@ impl LatencySampler {
             _ => &[],
         }
     }
+
+    /// Supplied [`LatencyModel::Scripted`] overrides whose key was never
+    /// drawn so far: a scripted schedule that drifted from the workload's
+    /// actual transmissions, silently overriding nothing. Callers surface
+    /// these instead of letting a stale script quietly test nothing.
+    pub fn unused_overrides(&self) -> Vec<DrawKey> {
+        match self {
+            LatencySampler::Jitter {
+                overrides: Some(ov),
+                draws,
+                ..
+            } => {
+                let drawn: std::collections::BTreeSet<DrawKey> =
+                    draws.iter().map(|(k, _)| *k).collect();
+                ov.keys().filter(|k| !drawn.contains(*k)).copied().collect()
+            }
+            _ => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +385,26 @@ mod tests {
         assert_eq!(s.sample(ProcessId(0), ProcessId(1)), 999);
         assert_eq!(s.draws().len(), 2);
         assert_eq!(s.draws()[1], (key, 999));
+    }
+
+    #[test]
+    fn unused_overrides_reports_never_drawn_keys() {
+        let drawn = (ProcessId(0), ProcessId(1), 0);
+        let stale = (ProcessId(7), ProcessId(8), 3);
+        let overrides = Arc::new(BTreeMap::from([(drawn, 77u64), (stale, 99u64)]));
+        let mut s = LatencyModel::scripted(5, 10, 42, overrides).sampler();
+        assert_eq!(
+            s.unused_overrides(),
+            vec![drawn, stale],
+            "nothing drawn yet: every override is unused"
+        );
+        assert_eq!(s.sample(ProcessId(0), ProcessId(1)), 77);
+        assert_eq!(s.unused_overrides(), vec![stale]);
+        // Plain jitter (no script) never reports unused overrides.
+        assert!(LatencyModel::jitter(5, 10, 42)
+            .sampler()
+            .unused_overrides()
+            .is_empty());
     }
 
     #[test]

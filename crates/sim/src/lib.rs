@@ -10,6 +10,7 @@ pub mod audit;
 pub mod behavior;
 pub mod engine;
 pub mod equiv;
+pub mod explore;
 pub mod forensics;
 pub mod latency;
 pub mod trace;
@@ -23,6 +24,10 @@ pub use engine::{
 pub use equiv::{
     check_conservation, check_equivalence, check_theorem1, committed_schedule, EquivReport,
     Mismatch, Theorem1Verdict,
+};
+pub use explore::{
+    explore, naive_interleavings, per_receiver_orders, render_schedule, ExploreOpts,
+    ExploreOutcome, ExploreStats, ExploreViolation,
 };
 pub use forensics::{
     first_divergence, happens_before_chain, render_report, shrink_schedule, DivergenceReport,

@@ -116,15 +116,21 @@ impl Default for ChainOpts {
     }
 }
 
-/// Client is process 0; hops are 1..=depth; terminal server is depth+1.
-pub fn run_chain(opts: ChainOpts) -> SimResult {
-    let cfg = SimConfig {
+/// The engine config [`run_chain`] derives from the scenario options —
+/// exposed so schedule exploration can vary it while keeping the world.
+pub fn chain_config(opts: &ChainOpts) -> SimConfig {
+    SimConfig {
         core: opts.core.clone(),
         optimism: opts.optimism,
         latency: LatencyModel::fixed(opts.latency),
         ..SimConfig::default()
-    };
-    let mut b = SimBuilder::new(cfg);
+    }
+}
+
+/// Build and run the chain world under an explicit engine config (the
+/// schedule explorer's runner).
+pub fn run_chain_cfg(opts: &ChainOpts, cfg: &SimConfig) -> SimResult {
+    let mut b = SimBuilder::new(cfg.clone());
     b.add_process(PutLineClient::to(opts.n, ProcessId(1)));
     for hop in 1..=opts.depth {
         b.add_process(OptimisticForwarder {
@@ -139,6 +145,12 @@ pub fn run_chain(opts: ChainOpts) -> SimResult {
         Value::Bool(i >= 0 && !fails.contains(&(i as u32)))
     }));
     b.build().run()
+}
+
+/// Client is process 0; hops are 1..=depth; terminal server is depth+1.
+pub fn run_chain(opts: ChainOpts) -> SimResult {
+    let cfg = chain_config(&opts);
+    run_chain_cfg(&opts, &cfg)
 }
 
 /// The terminal server's process id for a given depth.

@@ -53,22 +53,29 @@ pub fn consumer(opts: &FanInOpts) -> ProcessId {
     ProcessId(opts.producers)
 }
 
-/// Build and run the fan-in scenario.
-pub fn run_fan_in(opts: FanInOpts) -> SimResult {
+/// The engine config [`run_fan_in`] derives from the scenario options —
+/// exposed so schedule exploration can vary it (optimism, forced
+/// prefixes) while keeping the same world.
+pub fn fan_in_config(opts: &FanInOpts) -> SimConfig {
     let latency = if opts.jitter > 0 {
         LatencyModel::jitter(opts.latency, opts.jitter, opts.seed)
     } else {
         LatencyModel::fixed(opts.latency)
     };
-    let cfg = SimConfig {
+    SimConfig {
         core: opts.core.clone(),
         optimism: opts.optimism,
         latency,
         fork_timeout: opts.fork_timeout,
         ..SimConfig::default()
-    };
-    let board = consumer(&opts);
-    let mut b = SimBuilder::new(cfg);
+    }
+}
+
+/// Build and run the fan-in world under an explicit engine config (the
+/// schedule explorer's runner).
+pub fn run_fan_in_cfg(opts: &FanInOpts, cfg: &SimConfig) -> SimResult {
+    let board = consumer(opts);
+    let mut b = SimBuilder::new(cfg.clone());
     for _ in 0..opts.producers {
         b.add_process(PutLineClient::to(opts.n, board));
     }
@@ -77,6 +84,12 @@ pub fn run_fan_in(opts: FanInOpts) -> SimResult {
     );
     debug_assert_eq!(s, board);
     b.build().run()
+}
+
+/// Build and run the fan-in scenario.
+pub fn run_fan_in(opts: FanInOpts) -> SimResult {
+    let cfg = fan_in_config(&opts);
+    run_fan_in_cfg(&opts, &cfg)
 }
 
 // ---------------------------------------------------------------------

@@ -163,17 +163,23 @@ impl Default for StreamingOpts {
     }
 }
 
-/// Build and run the PutLine scenario.
-pub fn run_streaming(opts: StreamingOpts) -> SimResult {
-    let cfg = SimConfig {
+/// The engine config [`run_streaming`] derives from the scenario options —
+/// exposed so schedule exploration can vary it while keeping the world.
+pub fn streaming_config(opts: &StreamingOpts) -> SimConfig {
+    SimConfig {
         core: opts.core.clone(),
         optimism: opts.optimism,
         latency: LatencyModel::fixed(opts.latency),
         fork_timeout: opts.fork_timeout,
         checkpoint_every: opts.checkpoint_every,
         ..SimConfig::default()
-    };
-    let mut b = SimBuilder::new(cfg);
+    }
+}
+
+/// Build and run the PutLine world under an explicit engine config (the
+/// schedule explorer's runner).
+pub fn run_streaming_cfg(opts: &StreamingOpts, cfg: &SimConfig) -> SimResult {
+    let mut b = SimBuilder::new(cfg.clone());
     let c = if opts.fork_after_send {
         b.add_process(PutLineClientFas {
             n: opts.n,
@@ -191,6 +197,12 @@ pub fn run_streaming(opts: StreamingOpts) -> SimResult {
     );
     debug_assert_eq!((c, s), (CLIENT, SERVER));
     b.build().run()
+}
+
+/// Build and run the PutLine scenario.
+pub fn run_streaming(opts: StreamingOpts) -> SimResult {
+    let cfg = streaming_config(&opts);
+    run_streaming_cfg(&opts, &cfg)
 }
 
 /// The streaming client using §4.2.1's fork-after-send optimization: the

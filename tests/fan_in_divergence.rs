@@ -23,6 +23,7 @@
 //! against a genuinely broken engine (`FaultInjection::PhantomLog`), and
 //! pins the forensics report and shrinker determinism.
 
+use opcsp_core::{CoreConfig, GuardCodec, SpeculationPolicy};
 use opcsp_lang::{parse_program, System};
 use opcsp_sim::{
     check_theorem1, first_divergence, happens_before_chain, render_report, shrink_schedule,
@@ -153,6 +154,7 @@ fn phantom_log_fault_fails_oracle_and_forensics_names_the_culprit() {
             first,
             chain,
             shrunk: None,
+            unused_overrides: opt.unused_overrides.clone(),
         },
         &names,
     );
@@ -219,6 +221,7 @@ fn shrinker_is_deterministic_and_replay_reproduces_verdict() {
                 first,
                 chain,
                 shrunk: Some(shrunk.clone()),
+                unused_overrides: opt3.unused_overrides.clone(),
             },
             &names,
         );
@@ -230,4 +233,75 @@ fn shrinker_is_deterministic_and_replay_reproduces_verdict() {
     let (s2, r2) = run_pipeline();
     assert_eq!(s1, s2, "shrinker is not deterministic");
     assert_eq!(r1, r2, "replayed verdict is not byte-for-byte stable");
+}
+
+#[test]
+fn shrinker_determinism_is_invariant_across_codec_and_speculation() {
+    // The ddmin shrinker must be a pure function of the world and seed —
+    // the wire codec (Full vs Compact guards) and the speculation policy
+    // (static limit vs the adaptive per-site controller) change *how* the
+    // protocol runs, so each configuration may shrink to a different
+    // minimal schedule, but re-running the same configuration must
+    // reproduce its schedule byte for byte. A codec- or policy-dependent
+    // source of nondeterminism (iteration order, interner state, adaptive
+    // controller history) would show up here as a flapping report.
+    let sys = compile_fan_in();
+    let seed = 1;
+
+    let adaptive = || SpeculationPolicy::parse("adaptive").expect("adaptive parses");
+    let cores = [
+        ("full/static", CoreConfig {
+            codec: GuardCodec::Full,
+            ..CoreConfig::default()
+        }),
+        ("compact/static", CoreConfig {
+            codec: GuardCodec::Compact,
+            ..CoreConfig::default()
+        }),
+        ("full/adaptive", CoreConfig {
+            codec: GuardCodec::Full,
+            ..CoreConfig::default().with_speculation(adaptive())
+        }),
+        ("compact/adaptive", CoreConfig {
+            codec: GuardCodec::Compact,
+            ..CoreConfig::default().with_speculation(adaptive())
+        }),
+    ];
+
+    for (label, core) in cores {
+        let mk = |model: &LatencyModel, optimism: bool, fault: FaultInjection| SimConfig {
+            core: core.clone(),
+            optimism,
+            latency: model.clone(),
+            fork_timeout: 10_000,
+            fault,
+            ..SimConfig::default()
+        };
+        let verdict_of = |model: &LatencyModel| {
+            let pess = sys.run(mk(model, false, FaultInjection::None));
+            let opt = sys.run(mk(model, true, FaultInjection::PhantomLog));
+            let v = check_theorem1(&pess, &opt, |sched| {
+                let mut c = mk(model, false, FaultInjection::None);
+                c.delivery_schedule = Some(sched);
+                sys.run(c)
+            });
+            (v, opt)
+        };
+        let shrink_once = || {
+            let model = LatencyModel::jitter(BASE, SPREAD, seed);
+            let (v, opt) = verdict_of(&model);
+            let Theorem1Verdict::Violation { .. } = v else {
+                panic!("{label}: phantom fault not detected");
+            };
+            let diverges = |ov: &BTreeMap<_, _>| {
+                let scripted = LatencyModel::scripted(BASE, SPREAD, seed, Arc::new(ov.clone()));
+                !verdict_of(&scripted).0.holds()
+            };
+            shrink_schedule(&opt.latency_draws, BASE, diverges)
+                .unwrap_or_else(|| panic!("{label}: unshrunk reproducer reproduces"))
+        };
+        let a = shrink_once();
+        let b = shrink_once();
+        assert_eq!(a, b, "{label}: shrinker is not deterministic");
+    }
 }
