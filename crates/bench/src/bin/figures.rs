@@ -1,11 +1,15 @@
 //! Regenerate the paper's figures and the experiment tables.
 //!
 //! Usage:
-//!   figures             — everything
-//!   figures fig3 e1 t1  — selected items
+//!   figures                         — everything
+//!   figures fig3 e1 t1              — selected items
+//!   figures --json e14              — JSON to stdout instead of markdown
+//!   figures --artifact-dir out e14  — also write machine-readable
+//!                                     `BENCH_*.json` files for the
+//!                                     perf-tracking tables (e11/e12/e14)
 //!
 //! Items: fig1..fig7, e1, e2, e3, e4, e5, e6, e8, e9, e10, e12, e13,
-//! chain, t1, interner, lifecycle (overall + per-site), scaling.
+//! e14, chain, t1, interner, lifecycle (overall + per-site), scaling.
 
 use opcsp_bench::experiments as ex;
 
@@ -16,6 +20,18 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
+    let artifact_dir = args
+        .iter()
+        .position(|a| a == "--artifact-dir")
+        .map(|i| {
+            if i + 1 >= args.len() {
+                eprintln!("--artifact-dir requires a directory argument");
+                std::process::exit(2);
+            }
+            let dir = args[i + 1].clone();
+            args.drain(i..=i + 1);
+            dir
+        });
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     let figures: &[(&str, FigureFn)] = &[
@@ -49,8 +65,17 @@ fn main() {
         ("lifecycle", ex::lifecycle_site_stats),
         ("e12", ex::e12_contention_sweep),
         ("e13", ex::e13_explore),
+        ("e14", ex::e14_replicated_kv),
         ("scaling", ex::scaling),
     ];
+    // The perf-trajectory tables tracked as per-PR artifacts. `scaling`
+    // is E11 in DESIGN.md's index, hence the artifact name.
+    let artifact_name = |item: &str| match item {
+        "scaling" => Some("BENCH_E11.json"),
+        "e12" => Some("BENCH_E12.json"),
+        "e14" => Some("BENCH_E14.json"),
+        _ => None,
+    };
     for (name, f) in tables {
         if want(name) {
             let t = f();
@@ -58,6 +83,18 @@ fn main() {
                 println!("{}", t.to_json());
             } else {
                 println!("{t}");
+            }
+            if let (Some(dir), Some(file)) = (&artifact_dir, artifact_name(name)) {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("--artifact-dir {dir}: {e}");
+                    std::process::exit(1);
+                }
+                let path = std::path::Path::new(dir).join(file);
+                if let Err(e) = std::fs::write(&path, t.to_json()) {
+                    eprintln!("write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {}", path.display());
             }
         }
     }

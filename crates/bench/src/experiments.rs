@@ -1298,6 +1298,137 @@ pub fn scaling() -> Table {
     t
 }
 
+/// E14 — the replicated-KV flagship workload (optimistic parallel SMR):
+/// committed-ops and rollback rate for optimistic vs pessimistic
+/// sequencing across jitter levels and replica counts, plus wall-clock
+/// rows on the real-thread runtime (threaded and sharded executors).
+/// The cross-replica state-equality oracle (`check_replica_agreement`)
+/// is asserted on every row — a run only makes the table if all replicas
+/// committed identical stores and identical read streams.
+pub fn e14_replicated_kv() -> Table {
+    use opcsp_workloads::replicated_kv::{
+        check_rt_agreement, check_sim_agreement, rt_kv_world, run_replicated_kv, KvOpts,
+    };
+
+    let base = KvOpts {
+        clients: 4,
+        ops_per_client: 12,
+        ..KvOpts::default()
+    };
+    let policies: Vec<(&str, SpeculationPolicy)> = vec![
+        ("optimistic", CoreConfig::default().speculation),
+        ("pessimistic", SpeculationPolicy::Pessimistic),
+    ];
+
+    let mut t = Table::new(
+        "E14 — replicated KV (optimistic parallel SMR): open-loop Zipf \
+         load, guesses encode the optimistic delivery order; committed \
+         ops per kilotick (sim) / per second (rt), rollbacks per \
+         committed op",
+        &[
+            "engine", "policy", "R", "jitter", "ops", "throughput", "rollbacks/op", "aborts",
+        ],
+    );
+
+    // Sim sweep: policy × jitter × replica count, SMR oracle on each run.
+    let mut completion = std::collections::BTreeMap::new();
+    let mut jittered_aborts = 0u64;
+    for replicas in [2u32, 3] {
+        for jitter in [0u64, 40] {
+            for (name, policy) in &policies {
+                let opts = KvOpts {
+                    replicas,
+                    jitter,
+                    seed: 3,
+                    core: CoreConfig::default().with_speculation(*policy),
+                    ..base.clone()
+                };
+                let r = run_replicated_kv(opts.clone());
+                let s = check_sim_agreement(&opts, &r)
+                    .unwrap_or_else(|e| panic!("SMR oracle ({name} R={replicas} j={jitter}): {e}"));
+                assert_eq!(s.applied, opts.total_ops() as i64);
+                let st = r.stats();
+                if *name == "pessimistic" {
+                    assert_eq!(st.forks, 0, "pessimistic must not fork");
+                    assert_eq!(st.rollbacks, 0, "pessimistic must not roll back");
+                } else if jitter > 0 {
+                    jittered_aborts += st.aborts;
+                }
+                let ops = opts.total_ops() as u64;
+                t.row(vec![
+                    "sim".into(),
+                    name.to_string(),
+                    replicas.to_string(),
+                    jitter.to_string(),
+                    ops.to_string(),
+                    format!("{:.1}", ops as f64 / r.completion as f64 * 1000.0),
+                    format!("{:.2}", st.rollbacks as f64 / ops as f64),
+                    st.aborts.to_string(),
+                ]);
+                completion.insert((*name, replicas, jitter), r.completion);
+            }
+        }
+    }
+    // The paper's claim on the flagship: with spontaneous order intact
+    // (no jitter), streaming the broadcasts beats waiting out the
+    // sequencer round trip, at every replica count.
+    for replicas in [2u32, 3] {
+        assert!(
+            completion[&("optimistic", replicas, 0)] < completion[&("pessimistic", replicas, 0)],
+            "optimistic must beat pessimistic at R={replicas}, jitter 0"
+        );
+    }
+    assert!(
+        jittered_aborts > 0,
+        "jitter should break spontaneous order somewhere in the sweep"
+    );
+
+    // Real-thread rows: same world, wall-clock committed throughput.
+    for (engine, executor) in [
+        ("rt-threaded", opcsp_rt::Executor::Threaded),
+        ("rt-sharded:2", opcsp_rt::Executor::Sharded { workers: 2 }),
+    ] {
+        let opts = KvOpts {
+            replicas: 3,
+            seed: 3,
+            ..base.clone()
+        };
+        let cfg = opcsp_rt::RtConfig {
+            latency: std::time::Duration::from_millis(1),
+            run_timeout: std::time::Duration::from_secs(60),
+            executor,
+            ..opcsp_rt::RtConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let r = rt_kv_world(&opts, cfg).run();
+        let wall = t0.elapsed();
+        let s = check_rt_agreement(&opts, &r)
+            .unwrap_or_else(|e| panic!("SMR oracle ({engine}): {e}"));
+        assert_eq!(s.applied, opts.total_ops() as i64);
+        let ops = opts.total_ops() as u64;
+        t.row(vec![
+            engine.into(),
+            "optimistic".into(),
+            "3".into(),
+            "—".into(),
+            ops.to_string(),
+            format!("{:.0}", ops as f64 / wall.as_secs_f64()),
+            format!("{:.2}", r.stats.rollbacks as f64 / ops as f64),
+            r.stats.aborts.to_string(),
+        ]);
+    }
+    t.note(
+        "Clients guess the sequencer's position assignment (first: own index; then last + C) \
+         and broadcast Apply{pos, cmd} from the speculative right thread — a wrong guess is a \
+         value fault whose abort retracts the broadcast and rolls the replicas back, exactly \
+         optimistic SMR. Jitter perturbs arrival order at the sequencer, so it is the misguess \
+         knob. Every row passed the cross-replica agreement oracle (identical stores, identical \
+         read streams, full contiguous position range). rt throughput is wall-clock and \
+         machine-dependent; sim throughput is virtual-time.",
+    );
+    t
+}
+
 /// Every experiment table, in DESIGN.md index order.
 pub fn all_tables() -> Vec<Table> {
     vec![
@@ -1317,6 +1448,7 @@ pub fn all_tables() -> Vec<Table> {
         lifecycle_site_stats(),
         e12_contention_sweep(),
         e13_explore(),
+        e14_replicated_kv(),
         scaling(),
     ]
 }

@@ -58,8 +58,8 @@ pub use telemetry::{
     TelemetryEvent, Tick,
 };
 pub use wire::{
-    decode_control_frame, decode_frame, encode_control_frame, encode_frame, get_value, put_uvarint,
-    put_value, FrameError, FrameReader, GuardCodec, SendTag, TableRow, WireGuard, WireState,
-    WireStats, FRAME_VERSION, MAX_FRAME_BYTES,
+    decode_control_frame, decode_frame, encode_control_frame, encode_frame, get_value,
+    parse_frame_len, put_uvarint, put_value, seal_frame_len, FrameError, FrameReader, GuardCodec,
+    SendTag, TableRow, WireGuard, WireState, WireStats, FRAME_VERSION, MAX_FRAME_BYTES,
 };
 pub use value::Value;

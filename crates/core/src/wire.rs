@@ -830,9 +830,40 @@ fn get_envelope(r: &mut FrameReader<'_>) -> Result<Envelope, FrameError> {
     })
 }
 
+/// Parse a `u32le` frame-length header and enforce the size policy: a
+/// body must hold at least the version byte (`len == 0` is `Truncated`)
+/// and never exceed [`MAX_FRAME_BYTES`]. Every length prefix on any wire
+/// — envelope/control frames and the socket-transport message stream
+/// (`rt::sock`) — must go through here, so the cap and the error taxonomy
+/// cannot diverge between decoders.
+pub fn parse_frame_len(header: [u8; 4]) -> Result<usize, FrameError> {
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 {
+        return Err(FrameError::Truncated);
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    Ok(len)
+}
+
+/// Back-patch the `u32le` length prefix of a frame built as
+/// `[0,0,0,0, version, body...]` — the encoder-side counterpart of
+/// [`parse_frame_len`].
+pub fn seal_frame_len(frame: &mut [u8]) {
+    let len = frame.len() - 4;
+    debug_assert!(
+        len <= MAX_FRAME_BYTES,
+        "encoded frame body {len} exceeds MAX_FRAME_BYTES"
+    );
+    frame[..4].copy_from_slice(&(len as u32).to_le_bytes());
+}
+
 fn finish_frame(mut body: Vec<u8>) -> Vec<u8> {
-    let len = (body.len() - 4) as u32;
-    body[..4].copy_from_slice(&len.to_le_bytes());
+    seal_frame_len(&mut body);
     body
 }
 
@@ -844,13 +875,7 @@ fn open_frame(buf: &[u8]) -> Result<(FrameReader<'_>, usize), FrameError> {
         .ok_or(FrameError::Truncated)?
         .try_into()
         .unwrap();
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(FrameError::Oversized {
-            len,
-            max: MAX_FRAME_BYTES,
-        });
-    }
+    let len = parse_frame_len(len_bytes)?;
     let body = buf
         .get(4..4 + len)
         .ok_or(FrameError::Truncated)?;

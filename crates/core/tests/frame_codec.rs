@@ -188,3 +188,38 @@ proptest! {
         let _ = decode_control_frame(&bytes);
     }
 }
+
+/// Cap-boundary behavior of the shared length-prefix parser: every wire
+/// (in-proc frames and the socket transport) must agree on exactly where
+/// the 16 MiB cap bites and that a zero length is truncation, not an
+/// empty frame.
+#[test]
+fn frame_len_cap_boundaries() {
+    use opcsp_core::{parse_frame_len, seal_frame_len, FrameError, MAX_FRAME_BYTES};
+
+    let header = |len: usize| (len as u32).to_le_bytes();
+    assert_eq!(parse_frame_len(header(1)), Ok(1));
+    assert_eq!(
+        parse_frame_len(header(MAX_FRAME_BYTES)),
+        Ok(MAX_FRAME_BYTES),
+        "exactly at the cap is legal"
+    );
+    assert_eq!(
+        parse_frame_len(header(MAX_FRAME_BYTES + 1)),
+        Err(FrameError::Oversized {
+            len: MAX_FRAME_BYTES + 1,
+            max: MAX_FRAME_BYTES
+        }),
+        "one past the cap is rejected before any allocation"
+    );
+    assert_eq!(
+        parse_frame_len(header(0)),
+        Err(FrameError::Truncated),
+        "a zero length prefix is a truncated frame"
+    );
+
+    // seal/parse agree: whatever seal writes, parse reads back.
+    let mut frame = vec![0u8; 4 + 123];
+    seal_frame_len(&mut frame);
+    assert_eq!(parse_frame_len(frame[..4].try_into().unwrap()), Ok(123));
+}

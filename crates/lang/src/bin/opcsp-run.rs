@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! opcsp-run program.csp [options]
+//! opcsp-run kv:[key=value,...] [options]
 //!
 //!   --pessimistic        run sequentially (the baseline semantics)
 //!   --compare            run both modes, check Theorem-1 equivalence
@@ -69,6 +70,24 @@
 //!                        optimistic run is traced.
 //! ```
 //!
+//! Instead of a `.csp` file, the spec `kv:[key=value,...]` runs the
+//! built-in replicated-KV world (`opcsp_workloads::replicated_kv`,
+//! DESIGN.md §15): C clients stream Zipf-keyed commands through a
+//! sequencer to R replicas, guessing their log positions optimistically.
+//! Spec keys: `replicas`, `clients`, `ops` (per client), `gap`
+//! (open-loop inter-arrival), `keys` (key-space size), `writes` (per
+//! mille), `zipf` (skew exponent); an empty spec (`kv:`) takes the E14
+//! defaults. Engine knobs come from the ordinary flags, and the run is
+//! always checked against the cross-replica agreement oracle (identical
+//! stores and read streams on every replica), so `--compare`/`--explore`
+//! do not apply. Examples:
+//!
+//! ```text
+//! opcsp-run kv: --jitter 40                  misguesses under jitter
+//! opcsp-run kv:replicas=5,clients=8 --rt     real threads
+//! opcsp-run kv: --rt --listen uds:/tmp/kv.sock   across OS processes
+//! ```
+//!
 //! `--compare` checks Theorem 1 with the replay oracle: the strict
 //! same-seed comparison first, and on a positional difference it replays
 //! the optimistic run's committed delivery schedule through the
@@ -90,6 +109,10 @@ use opcsp_sim::{
     check_theorem1, explore, first_divergence, happens_before_chain, render_report,
     render_schedule, shrink_schedule, DivergenceReport, ExploreOpts, FaultInjection, LatencyModel,
     SimConfig, SimResult, Theorem1Verdict,
+};
+use opcsp_workloads::replicated_kv::{
+    self, check_rt_agreement, check_sim_agreement, rt_kv_world, run_replicated_kv, KvOpts,
+    KvSummary,
 };
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -347,7 +370,8 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() {
     eprintln!(
-        "usage: opcsp-run <file.csp> [--pessimistic] [--compare] [--latency d] \
+        "usage: opcsp-run <file.csp | kv:[replicas=R,clients=C,ops=N,gap=G,keys=K,\
+         writes=W,zipf=S]> [--pessimistic] [--compare] [--latency d] \
          [--jitter s] [--seed n] [--timeline] [--show-transform] [--timeout t] \
          [--retry-limit L] [--speculation pessimistic|static:N|adaptive[:k=v,..]] \
          [--explore [--depth k] [--budget n]] \
@@ -509,29 +533,30 @@ fn reap_sock_workers(children: Vec<std::process::Child>) -> bool {
     ok
 }
 
-/// Run on the real-thread runtime; with `--compare`, check the chaos
-/// differential: the chaotic run's committed logs must equal a fault-free
-/// run's. With `--listen`/`--connect` the run crosses process boundaries
-/// over a real socket (DESIGN.md §13); the `--compare` baseline is then
-/// an in-process fault-free run of the same world.
-fn run_rt(sys: &System, opts: &Options) -> ExitCode {
+/// Parse `--chaos`, defaulting the fault seed to `--seed` when the spec
+/// does not pin one.
+fn parse_faults(opts: &Options) -> Result<opcsp_rt::NetFaults, String> {
+    match &opts.chaos {
+        Some(spec) => {
+            let mut f = opcsp_rt::NetFaults::parse(spec)?;
+            if !spec.contains("seed=") {
+                f.seed = opts.seed;
+            }
+            Ok(f)
+        }
+        None => Ok(opcsp_rt::NetFaults::none()),
+    }
+}
+
+/// The one rt-config assembly point shared by the `.csp` path and the
+/// `kv:` builtin — both must derive the runtime from the same flags.
+fn rt_config(
+    opts: &Options,
+    faults: opcsp_rt::NetFaults,
+    transport: opcsp_rt::RtTransport,
+) -> opcsp_rt::RtConfig {
     use std::time::Duration;
-    let faults = match &opts.chaos {
-        Some(spec) => match opcsp_rt::NetFaults::parse(spec) {
-            Ok(mut f) => {
-                if !spec.contains("seed=") {
-                    f.seed = opts.seed;
-                }
-                f
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => opcsp_rt::NetFaults::none(),
-    };
-    let cfg = |faults: opcsp_rt::NetFaults, transport: opcsp_rt::RtTransport| opcsp_rt::RtConfig {
+    opcsp_rt::RtConfig {
         core: opts.core_config(),
         optimism: !opts.pessimistic,
         // Simulator ticks become milliseconds on real threads; a fork
@@ -547,6 +572,24 @@ fn run_rt(sys: &System, opts: &Options) -> ExitCode {
             None => opcsp_rt::RtConfig::default().executor,
         },
         ..opcsp_rt::RtConfig::default()
+    }
+}
+
+/// Run on the real-thread runtime; with `--compare`, check the chaos
+/// differential: the chaotic run's committed logs must equal a fault-free
+/// run's. With `--listen`/`--connect` the run crosses process boundaries
+/// over a real socket (DESIGN.md §13); the `--compare` baseline is then
+/// an in-process fault-free run of the same world.
+fn run_rt(sys: &System, opts: &Options) -> ExitCode {
+    let faults = match parse_faults(opts) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = |faults: opcsp_rt::NetFaults, transport: opcsp_rt::RtTransport| {
+        rt_config(opts, faults, transport)
     };
     let names: BTreeMap<ProcessId, String> =
         sys.bindings.iter().map(|(n, p)| (*p, n.clone())).collect();
@@ -706,6 +749,248 @@ fn run_rt(sys: &System, opts: &Options) -> ExitCode {
     }
 }
 
+/// Parse the `kv:[key=value,...]` builtin-world spec. World-shape keys
+/// live in the spec; engine knobs (latency, jitter, seed, timeout,
+/// speculation, optimism) come from the ordinary flags so a `kv:` run
+/// composes with the rest of the CLI.
+fn parse_kv_spec(spec: &str, opts: &Options) -> Result<KvOpts, String> {
+    let mut kv = KvOpts {
+        latency: opts.latency,
+        jitter: opts.jitter,
+        seed: opts.seed,
+        fork_timeout: opts.timeout,
+        optimism: !opts.pessimistic,
+        core: opts.core_config(),
+        ..KvOpts::default()
+    };
+    let body = spec.strip_prefix("kv:").expect("caller checked the prefix");
+    for pair in body.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("kv spec: `{pair}` is not key=value"))?;
+        let int = |field: &mut u32| -> Result<(), String> {
+            *field = v.parse().map_err(|e| format!("kv spec {k}={v}: {e}"))?;
+            Ok(())
+        };
+        match k {
+            "replicas" => int(&mut kv.replicas)?,
+            "clients" => int(&mut kv.clients)?,
+            "ops" => int(&mut kv.ops_per_client)?,
+            "keys" => int(&mut kv.keys)?,
+            "writes" => int(&mut kv.write_per_mille)?,
+            "gap" => kv.gap = v.parse().map_err(|e| format!("kv spec gap={v}: {e}"))?,
+            "zipf" => kv.zipf_s = v.parse().map_err(|e| format!("kv spec zipf={v}: {e}"))?,
+            other => {
+                return Err(format!(
+                    "kv spec: unknown key `{other}` (known: replicas, clients, ops, \
+                     gap, keys, writes, zipf)"
+                ))
+            }
+        }
+    }
+    if kv.replicas == 0 || kv.clients == 0 || kv.ops_per_client == 0 || kv.keys == 0 {
+        return Err("kv spec: replicas, clients, ops and keys must all be >= 1".into());
+    }
+    if kv.write_per_mille > 1000 {
+        return Err("kv spec: writes is per mille (0..=1000)".into());
+    }
+    Ok(kv)
+}
+
+fn kv_names(kv: &KvOpts) -> BTreeMap<ProcessId, String> {
+    let mut names = BTreeMap::new();
+    for j in 0..kv.clients {
+        names.insert(ProcessId(j), format!("client{j}"));
+    }
+    names.insert(replicated_kv::sequencer(kv), "sequencer".to_string());
+    for r in 0..kv.replicas {
+        names.insert(replicated_kv::replica(kv, r), format!("R{r}"));
+    }
+    names
+}
+
+fn kv_verdict(label: &str, kv: &KvOpts, verdict: Result<KvSummary, String>) -> ExitCode {
+    match verdict {
+        Ok(s) => {
+            println!(
+                "SMR agreement: {} replicas each applied {} commands \
+                 ({} committed reads), stores identical ✓ {label}",
+                kv.replicas, s.applied, s.gets
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("SMR DIVERGENCE (engine bug!): {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The `kv:` builtin on the real-thread runtime — same transport
+/// plumbing as the `.csp` path (in-proc, chaos, sharded executor, or the
+/// cross-process socket hub), but the pass/fail criterion is the SMR
+/// agreement oracle instead of a log differential.
+fn run_kv_rt(kv: &KvOpts, names: &BTreeMap<ProcessId, String>, opts: &Options) -> ExitCode {
+    let faults = match parse_faults(opts) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Worker mode: host our pid share, stay quiet, exit by our own
+    // success only — the parent owns the merged result and the oracle.
+    if let Some(spec) = &opts.connect {
+        let addr = match opcsp_rt::SockAddr::parse(spec) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: --connect {spec}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let role = opcsp_rt::SockRole::Worker {
+            index: opts.sock_worker.expect("validated at parse"),
+            workers: opts.sock_workers,
+        };
+        let r = rt_kv_world(
+            kv,
+            rt_config(opts, faults, opcsp_rt::RtTransport::Socket { addr, role }),
+        )
+        .run();
+        return if r.timed_out {
+            eprintln!("error: socket worker timed out");
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let (transport, children) = match &opts.listen {
+        Some(spec) => {
+            let addr = match opcsp_rt::SockAddr::parse(spec) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: --listen {spec}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if opts.trace_out.is_some() {
+                eprintln!(
+                    "warning: --trace-out is ignored with --listen \
+                     (telemetry events are not shipped over the socket)"
+                );
+            }
+            let children = match spawn_sock_workers(spec, opts.sock_workers) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let role = opcsp_rt::SockRole::Parent {
+                workers: opts.sock_workers,
+            };
+            (opcsp_rt::RtTransport::Socket { addr, role }, children)
+        }
+        None => (opcsp_rt::RtTransport::InProc, Vec::new()),
+    };
+    let multi_process = !children.is_empty();
+
+    let r = rt_kv_world(kv, rt_config(opts, faults, transport)).run();
+    let workers_ok = reap_sock_workers(children);
+    if let Some(path) = &opts.trace_out {
+        if !multi_process {
+            write_trace(path, &r.telemetry.to_perfetto_json(names));
+        }
+    }
+    summarize_rt(
+        if opts.pessimistic {
+            "rt pessimistic"
+        } else {
+            "rt optimistic "
+        },
+        names,
+        &r,
+    );
+    if r.timed_out || !r.panicked.is_empty() || !workers_ok {
+        return ExitCode::FAILURE;
+    }
+    let rate = kv.total_ops() as f64 / r.wall.as_secs_f64().max(1e-9);
+    kv_verdict(
+        &format!("[{rate:.0} committed ops/s wall]"),
+        kv,
+        check_rt_agreement(kv, &r),
+    )
+}
+
+/// Entry point for the `kv:` builtin world (both engines).
+fn run_kv(opts: &Options) -> ExitCode {
+    // The kv world checks its replication safety property on every run,
+    // and its multi-client committed order is legal nondeterminism — the
+    // `.csp` differential flags would check the wrong thing.
+    if opts.compare || opts.explore {
+        eprintln!(
+            "error: the kv: builtin carries its own cross-replica agreement oracle, \
+             checked on every run; --compare/--explore drive the .csp Theorem-1 \
+             pipeline and its committed-log differential, which is not \
+             schedule-independent for a multi-client kv world. Drop the flag \
+             (the engine differentials live in tests/replicated_kv.rs)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if opts.show_transform || opts.inject_lifo || opts.inject_phantom {
+        eprintln!(
+            "error: --show-transform/--inject-lifo/--inject-phantom apply to .csp \
+             programs, not the kv: builtin world"
+        );
+        return ExitCode::FAILURE;
+    }
+    let kv = match parse_kv_spec(&opts.file, opts) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let names = kv_names(&kv);
+    if opts.rt {
+        return run_kv_rt(&kv, &names, opts);
+    }
+    if opts.chaos.is_some() {
+        eprintln!("error: --chaos requires --rt (the simulator injects faults via --jitter)");
+        return ExitCode::FAILURE;
+    }
+    if opts.workers.is_some() {
+        eprintln!("error: --workers requires --rt (the simulator has no executor pool)");
+        return ExitCode::FAILURE;
+    }
+
+    let r = run_replicated_kv(kv.clone());
+    if opts.timeline {
+        let procs: Vec<ProcessId> = (0..kv.clients + 1 + kv.replicas).map(ProcessId).collect();
+        println!("{}", r.trace.render_timeline(&procs));
+    }
+    summarize(
+        if opts.pessimistic {
+            "pessimistic"
+        } else {
+            "optimistic"
+        },
+        &r,
+    );
+    if let Some(path) = &opts.trace_out {
+        write_trace(path, &r.telemetry.to_perfetto_json(&names));
+    }
+    let rate = kv.total_ops() as f64 / (r.completion.max(1) as f64 / 1000.0);
+    kv_verdict(
+        &format!("[{rate:.1} committed ops per kilotick]"),
+        &kv,
+        check_sim_agreement(&kv, &r),
+    )
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -717,6 +1002,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.file.starts_with("kv:") {
+        return run_kv(&opts);
+    }
     let src = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {

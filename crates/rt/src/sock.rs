@@ -37,8 +37,8 @@ use crate::runtime::{drain_rounds, Coord, RtResult, RtStats, RtWorld, Step};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use opcsp_core::{
     decode_control_frame, decode_frame, encode_control_frame, encode_frame, get_value,
-    put_uvarint, put_value, FrameError, FrameReader, ProcessId, Telemetry, FRAME_VERSION,
-    MAX_FRAME_BYTES,
+    parse_frame_len, put_uvarint, put_value, seal_frame_len, FrameError, FrameReader, ProcessId,
+    Telemetry, FRAME_VERSION,
 };
 #[cfg(test)]
 use opcsp_core::Value;
@@ -561,8 +561,7 @@ fn encode_msg(m: &SockMsg) -> Vec<u8> {
         }
         SockMsg::Bye => buf.push(TAG_BYE),
     }
-    let len = (buf.len() - 4) as u32;
-    buf[..4].copy_from_slice(&len.to_le_bytes());
+    seal_frame_len(&mut buf);
     buf
 }
 
@@ -704,13 +703,10 @@ fn read_msg(stream: &mut SockStream) -> io::Result<Option<SockMsg>> {
             Err(e) => return Err(e),
         }
     }
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len == 0 || len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("socket message length {len} out of range"),
-        ));
-    }
+    // The 16 MiB cap and the zero-length rejection come from the shared
+    // header parser — one policy for every length prefix on any wire.
+    let len = parse_frame_len(len_bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
     decode_msg(&body)
@@ -786,16 +782,24 @@ fn run_parent(world: RtWorld, addr: &SockAddr, workers: usize) -> RtResult {
 
     // Handshake: accept every worker, read its Hello, and check that the
     // claimed ranges tile 0..n exactly — a version-skewed or misnumbered
-    // worker is caught here, before any actor runs.
+    // worker is caught here, before any actor runs. A connection that dies
+    // mid-handshake (EOF, I/O error, or garbage before a well-formed
+    // Hello) is a crashed *worker*, not a lost world: its slot stays
+    // empty, the pid range it would have owned is attributed as panicked
+    // below, and the surviving workers still run and drain to quiescence.
     let mut conns: Vec<Option<SockStream>> = (0..workers).map(|_| None).collect();
-    for _ in 0..workers {
+    let mut accepted = 0usize;
+    while accepted < workers {
         let mut s = match listener.accept_deadline(deadline) {
             Ok(s) => s,
             Err(e) => {
+                // A worker died before it ever connected: stop waiting and
+                // attribute every still-unclaimed slot.
                 eprintln!("rt::sock parent: accept: {e}");
-                return empty_result(start, true);
+                break;
             }
         };
+        accepted += 1;
         let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
         let hello = read_msg(&mut s);
         let _ = s.set_read_timeout(None);
@@ -816,6 +820,9 @@ fn run_parent(world: RtWorld, addr: &SockAddr, workers: usize) -> RtResult {
                     && hi as usize == want_hi
                     && conns[idx.min(workers - 1)].is_none();
                 if !ok {
+                    // A well-formed but *wrong* Hello is config/version
+                    // skew, not a crash: every worker was launched from
+                    // the same spec, so the whole world is suspect.
                     eprintln!(
                         "rt::sock parent: bad hello (index {index}, workers {w}, n {wn}, \
                          range {lo}..{hi}; expected workers {workers}, n {n}, \
@@ -826,12 +833,13 @@ fn run_parent(world: RtWorld, addr: &SockAddr, workers: usize) -> RtResult {
                 conns[idx] = Some(s);
             }
             other => {
-                eprintln!("rt::sock parent: expected hello, got {other:?}");
-                return empty_result(start, true);
+                eprintln!(
+                    "rt::sock parent: worker connection lost during handshake \
+                     (expected hello, got {other:?})"
+                );
             }
         }
     }
-    let conns: Vec<SockStream> = conns.into_iter().map(|c| c.unwrap()).collect();
 
     // pid → owning connection index, derived from the contiguous tiling.
     let owner: Vec<usize> = (0..workers)
@@ -841,49 +849,77 @@ fn run_parent(world: RtWorld, addr: &SockAddr, workers: usize) -> RtResult {
         })
         .collect();
 
-    // Split every connection into a shared writer half and a reader half
-    // *before* spawning any reader: a reader routes frames to arbitrary
-    // sibling writers, so it must capture the complete table.
+    // Split every live connection into a shared writer half and a reader
+    // half *before* spawning any reader: a reader routes frames to
+    // arbitrary sibling writers, so it must capture the complete table.
+    // Dead slots stay `None` — frames routed to them are dropped (their
+    // owners are dead), and their pid ranges are attributed right below.
     let (report_tx, report_rx) = unbounded::<Report>();
-    let mut writers: Vec<Arc<Mutex<SockStream>>> = Vec::with_capacity(workers);
-    let mut reader_streams = Vec::with_capacity(workers);
+    let mut writers: Vec<Option<Arc<Mutex<SockStream>>>> = Vec::with_capacity(workers);
+    let mut reader_streams: Vec<Option<SockStream>> = Vec::with_capacity(workers);
     for (w, conn) in conns.into_iter().enumerate() {
+        let Some(conn) = conn else {
+            writers.push(None);
+            reader_streams.push(None);
+            continue;
+        };
         match conn.try_clone() {
-            Ok(r) => reader_streams.push(r),
+            Ok(r) => {
+                reader_streams.push(Some(r));
+                writers.push(Some(Arc::new(Mutex::new(conn))));
+            }
             Err(e) => {
-                eprintln!("rt::sock parent: clone conn {w}: {e}");
-                return empty_result(start, true);
+                eprintln!("rt::sock parent: clone conn {w}: {e} (treating worker as lost)");
+                reader_streams.push(None);
+                writers.push(None);
             }
         }
-        writers.push(Arc::new(Mutex::new(conn)));
     }
-    let mut states: Vec<Arc<ConnState>> = Vec::with_capacity(workers);
-    let mut readers = Vec::with_capacity(workers);
+    for (w, wr) in writers.iter().enumerate() {
+        if wr.is_none() {
+            let (lo, hi) = worker_range(w, workers, n);
+            for pid in lo..hi {
+                let _ = report_tx.send(Report::Panicked {
+                    pid: ProcessId(pid as u32),
+                    msg: format!("worker connection {w} lost during handshake"),
+                });
+            }
+        }
+    }
+    let mut states: Vec<Option<Arc<ConnState>>> = Vec::with_capacity(workers);
+    let mut readers: Vec<(usize, std::thread::JoinHandle<()>)> = Vec::with_capacity(workers);
     for (w, reader) in reader_streams.into_iter().enumerate() {
+        let Some(reader) = reader else {
+            states.push(None);
+            continue;
+        };
         let state = Arc::new(ConnState {
             reported: Mutex::new(BTreeSet::new()),
             saw_bye: std::sync::atomic::AtomicBool::new(false),
         });
-        states.push(state.clone());
+        states.push(Some(state.clone()));
         let owner = owner.clone();
         let all_writers = writers.clone();
         let tx = report_tx.clone();
         let (lo, hi) = worker_range(w, workers, n);
-        readers.push(
+        readers.push((
+            w,
             std::thread::Builder::new()
                 .name(format!("opcsp-sock-conn-{w}"))
                 .spawn(move || {
                     parent_reader(reader, w, owner, all_writers, tx, state, lo, hi)
                 })
                 .expect("spawn parent reader"),
-        );
+        ));
     }
     drop(report_tx);
 
     for (w, wr) in writers.iter().enumerate() {
+        let Some(wr) = wr else { continue };
         if let Err(e) = write_msg(wr, &SockMsg::Start) {
+            // The connection broke between the handshake and Start: the
+            // reader thread sees the same EOF and attributes the range.
             eprintln!("rt::sock parent: start conn {w}: {e}");
-            return empty_result(start, true);
         }
     }
 
@@ -906,14 +942,20 @@ fn run_parent(world: RtWorld, addr: &SockAddr, workers: usize) -> RtResult {
         if waiting.is_empty() {
             break;
         }
-        match coord.recv_deadline(deadline) {
+        // Wait in short slices: deaths are absorbed silently inside
+        // `recv_deadline`, so if every remaining client just died and no
+        // further report is coming, a full-deadline wait would stall here.
+        let slice = (Instant::now() + Duration::from_millis(50)).min(deadline);
+        match coord.recv_deadline(slice) {
             Step::Got(Report::ClientDone(pid)) => {
                 waiting.remove(&pid);
             }
             Step::Got(_) => {}
             Step::DeadlineHit => {
-                timed_out = true;
-                break;
+                if Instant::now() >= deadline {
+                    timed_out = true;
+                    break;
+                }
             }
             Step::AllExited => {
                 all_dead = true;
@@ -930,7 +972,7 @@ fn run_parent(world: RtWorld, addr: &SockAddr, workers: usize) -> RtResult {
             deadline,
             |dead| (0..n).filter(|i| !dead.contains(&ProcessId(*i as u32))).collect(),
             |round, _live| {
-                for wr in &writers {
+                for wr in writers.iter().flatten() {
                     let _ = write_msg(wr, &SockMsg::Probe(round));
                 }
             },
@@ -940,7 +982,7 @@ fn run_parent(world: RtWorld, addr: &SockAddr, workers: usize) -> RtResult {
         }
     }
 
-    for wr in &writers {
+    for wr in writers.iter().flatten() {
         let _ = write_msg(wr, &SockMsg::Shutdown);
     }
 
@@ -970,18 +1012,19 @@ fn run_parent(world: RtWorld, addr: &SockAddr, workers: usize) -> RtResult {
 
     // Phase 4 — reap reader threads (they exit on Bye or EOF); a wedged
     // connection is detached, and its unreported pids become stragglers.
-    for (w, h) in readers.into_iter().enumerate() {
+    for (w, h) in readers {
         while !h.is_finished() && Instant::now() < collect_deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
         if h.is_finished() {
             let _ = h.join();
         } else {
-            states[w].saw_bye.store(true, std::sync::atomic::Ordering::Relaxed);
-            writers[w]
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .shutdown();
+            if let Some(state) = &states[w] {
+                state.saw_bye.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            if let Some(wr) = &writers[w] {
+                wr.lock().unwrap_or_else(|p| p.into_inner()).shutdown();
+            }
         }
     }
     let mut stragglers = Vec::new();
@@ -1017,7 +1060,7 @@ fn parent_reader(
     mut stream: SockStream,
     conn_index: usize,
     owner: Vec<usize>,
-    writers: Vec<Arc<Mutex<SockStream>>>,
+    writers: Vec<Option<Arc<Mutex<SockStream>>>>,
     report: Sender<Report>,
     state: Arc<ConnState>,
     lo: usize,
@@ -1029,8 +1072,10 @@ fn parent_reader(
                 let Some(w) = owner.get(f.to.0 as usize) else {
                     continue; // out-of-range target: drop, never panic
                 };
-                if *w < writers.len() {
-                    let _ = write_msg(&writers[*w], &SockMsg::Net(f));
+                // A `None` writer is a worker lost during the handshake:
+                // frames routed to its pids are dropped, not a panic.
+                if let Some(wr) = writers.get(*w).and_then(|o| o.as_ref()) {
+                    let _ = write_msg(wr, &SockMsg::Net(f));
                 }
             }
             Ok(Some(SockMsg::Report(r))) => {
@@ -1350,7 +1395,7 @@ mod tests {
 
     fn roundtrip(m: &SockMsg) -> SockMsg {
         let bytes = encode_msg(m);
-        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let len = parse_frame_len(bytes[..4].try_into().unwrap()).expect("valid length prefix");
         assert_eq!(len, bytes.len() - 4, "length prefix covers the body");
         decode_msg(&bytes[4..]).expect("decode")
     }

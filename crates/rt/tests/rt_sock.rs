@@ -304,3 +304,112 @@ fn worker_crash_reports_its_pids_as_panicked() {
     assert!(parent.logs.contains_key(&ProcessId(0)));
     assert!(parent.logs.contains_key(&ProcessId(1)));
 }
+
+/// Shared scenario for handshake-phase crashes: worker 0 is real and
+/// hosts a self-contained client→server pair (pids 0,1); worker 1 is an
+/// impostor that connects, writes `dying_bytes`, and drops the connection
+/// *without ever completing a Hello*. Returns the parent's result.
+fn run_with_handshake_impostor(tag: &str, dying_bytes: Vec<u8>) -> RtResult {
+    let addr = fresh_uds(tag);
+    let workers = 2usize;
+    let make_world = |cfg: RtConfig| {
+        let mut w = RtWorld::new(cfg);
+        w.add_process(PutLineClient::to(3, ProcessId(1)), true);
+        w.add_process(Server::new("S0", 0), false);
+        w.add_process(PutLineClient::to(3, ProcessId(3)), true);
+        w.add_process(Server::new("S1", 0), false);
+        w
+    };
+
+    let worker0 = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let cfg = base_cfg(
+                NetFaults::none(),
+                RtTransport::Socket {
+                    addr,
+                    role: SockRole::Worker { index: 0, workers },
+                },
+            );
+            make_world(cfg).run()
+        })
+    };
+    let impostor = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            use std::io::Write;
+            let SockAddr::Uds(path) = &addr else {
+                panic!("uds expected")
+            };
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            let mut s = loop {
+                match std::os::unix::net::UnixStream::connect(path) {
+                    Ok(s) => break s,
+                    Err(e) if std::time::Instant::now() >= deadline => {
+                        panic!("impostor connect: {e}")
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                }
+            };
+            let _ = s.write_all(&dying_bytes);
+            let _ = s.flush();
+            drop(s); // dies mid-handshake: no Hello ever completes
+        })
+    };
+
+    let cfg = base_cfg(
+        NetFaults::none(),
+        RtTransport::Socket {
+            addr,
+            role: SockRole::Parent { workers },
+        },
+    );
+    let parent = make_world(cfg).run();
+    worker0.join().expect("worker 0");
+    impostor.join().expect("impostor");
+    parent
+}
+
+fn assert_handshake_loss_contained(parent: &RtResult, label: &str) {
+    assert!(
+        !parent.timed_out,
+        "{label}: a worker lost in the handshake must not stall the hub\n panicked: {:?}\n panics: {:?}\n wall: {:?}",
+        parent.panicked, parent.panics, parent.wall
+    );
+    assert_eq!(
+        parent.panicked,
+        vec![ProcessId(2), ProcessId(3)],
+        "{label}: the lost worker's pid range must be reported panicked: {:?}",
+        parent.panics
+    );
+    for pid in [ProcessId(2), ProcessId(3)] {
+        assert!(
+            parent.panics[&pid].contains("handshake"),
+            "{label}: panic message should blame the handshake: {:?}",
+            parent.panics[&pid]
+        );
+    }
+    // The healthy pair hosted by the surviving worker still committed.
+    assert!(parent.logs.contains_key(&ProcessId(0)), "{label}: pid 0 log missing");
+    assert!(parent.logs.contains_key(&ProcessId(1)), "{label}: pid 1 log missing");
+}
+
+#[test]
+fn worker_killed_during_handshake_does_not_panic_hub() {
+    // The impostor gets two bytes of a length prefix out before dying —
+    // the parent used to `unwrap()` the missing connection and abort the
+    // whole world; now it attributes pids 2,3 and finishes the rest.
+    let parent = run_with_handshake_impostor("hskill", vec![0x03, 0x00]);
+    assert_handshake_loss_contained(&parent, "mid-handshake kill");
+}
+
+#[test]
+fn oversized_length_prefix_on_socket_path_is_connection_loss() {
+    // Cap-boundary on the socket read path: a length prefix one past
+    // `MAX_FRAME_BYTES` must be rejected by the shared header parser
+    // (never allocated or read through), and the connection treated as a
+    // lost worker like any other handshake death.
+    let bogus = ((opcsp_core::MAX_FRAME_BYTES + 1) as u32).to_le_bytes().to_vec();
+    let parent = run_with_handshake_impostor("hscap", bogus);
+    assert_handshake_loss_contained(&parent, "oversized prefix");
+}

@@ -17,12 +17,17 @@
 //! - [`contention_sweep`] — phased conflict-rate ramp on a hot server
 //!   (E12: where every static retry limit loses and adaptive tracks the
 //!   per-phase oracle).
+//! - [`replicated_kv`] — the flagship workload: optimistic parallel
+//!   state-machine replication, R replicas fed by an open-loop Zipf
+//!   client load, with guesses standing in for the optimistic delivery
+//!   order (E14).
 //! - [`servers`] — reusable server behaviors.
 
 pub mod chain;
 pub mod contention;
 pub mod contention_sweep;
 pub mod fan_in;
+pub mod replicated_kv;
 pub mod servers;
 pub mod streaming;
 pub mod two_clients;

@@ -1,0 +1,198 @@
+//! Replicated-KV differentials (the flagship workload's oracles).
+//!
+//! Two properties, split by what is schedule-independent:
+//!
+//! - **Merge equivalence (Theorem-1-shaped):** with a single client the
+//!   committed history is schedule-independent — the sequencer assigns
+//!   positions in issue order no matter how threads race — so the
+//!   simulator and the real-thread runtime (both executors) must commit
+//!   merge-equivalent per-process logs and identical replica externals.
+//! - **SMR agreement:** with many clients the committed order is
+//!   whatever the sequencer's arrival order was, so engines legitimately
+//!   commit different histories; the invariant is the replication safety
+//!   property itself — identical stores and read streams across
+//!   replicas, asserted under chaos faults, the sharded executor, and
+//!   the socket transport.
+
+use opcsp_core::Value;
+use opcsp_rt::{merge_equiv, Executor, NetFaults, RtConfig, SockAddr, SockRole};
+use opcsp_workloads::replicated_kv::{
+    check_rt_agreement, check_sim_agreement, replica_streams, rt_kv_world, run_replicated_kv,
+    KvOpts,
+};
+use std::time::Duration;
+
+fn single_client() -> KvOpts {
+    KvOpts {
+        clients: 1,
+        ops_per_client: 8,
+        replicas: 3,
+        ..KvOpts::default()
+    }
+}
+
+fn rt_cfg(executor: Executor, faults: NetFaults) -> RtConfig {
+    RtConfig {
+        latency: Duration::from_millis(1),
+        run_timeout: Duration::from_secs(30),
+        executor,
+        faults,
+        ..RtConfig::default()
+    }
+}
+
+fn assert_rt_matches_sim(opts: &KvOpts, label: &str, executor: Executor) {
+    let sim = run_replicated_kv(opts.clone());
+    check_sim_agreement(opts, &sim).expect("sim SMR oracle");
+
+    let rt = rt_kv_world(opts, rt_cfg(executor, NetFaults::none())).run();
+    assert!(!rt.timed_out, "{label}: rt timed out");
+    assert!(rt.panicked.is_empty(), "{label}: rt panics {:?}", rt.panics);
+    check_rt_agreement(opts, &rt).expect("rt SMR oracle");
+
+    for (pid, sim_log) in &sim.logs {
+        let rt_log = rt
+            .logs
+            .get(pid)
+            .unwrap_or_else(|| panic!("{label}: rt has no log for {pid}"));
+        assert!(
+            merge_equiv(sim_log, rt_log),
+            "{label}: {pid} committed logs diverge\nsim: {sim_log:?}\nrt:  {rt_log:?}"
+        );
+    }
+    // Replica externals are released in apply order — they must be equal
+    // sequences, not just merge-equivalent.
+    let sim_streams = replica_streams(opts, sim.external.iter().map(|(_, p, v)| (*p, v.clone())));
+    let rt_streams = replica_streams(opts, rt.external.iter().cloned());
+    assert_eq!(
+        sim_streams, rt_streams,
+        "{label}: replica external streams diverge"
+    );
+}
+
+#[test]
+fn sim_and_threaded_rt_commit_the_same_single_client_history() {
+    assert_rt_matches_sim(&single_client(), "threaded", Executor::Threaded);
+}
+
+#[test]
+fn sim_and_sharded_rt_commit_the_same_single_client_history() {
+    assert_rt_matches_sim(
+        &single_client(),
+        "sharded:2",
+        Executor::Sharded { workers: 2 },
+    );
+}
+
+/// Multi-client chaos run: drops, duplicates, and reordering inside each
+/// actor's transport perturb the optimistic delivery order arbitrarily —
+/// the committed history may be any order, but every replica must commit
+/// the *same* one.
+#[test]
+fn chaos_preserves_smr_agreement_on_both_executors() {
+    let opts = KvOpts {
+        clients: 4,
+        ops_per_client: 6,
+        replicas: 3,
+        ..KvOpts::default()
+    };
+    let chaos = NetFaults {
+        seed: 11,
+        drop: 0.15,
+        dup: 0.1,
+        reorder: 3,
+        partitions: vec![],
+    };
+    for (label, executor) in [
+        ("threaded", Executor::Threaded),
+        ("sharded:2", Executor::Sharded { workers: 2 }),
+    ] {
+        let rt = rt_kv_world(&opts, rt_cfg(executor, chaos.clone())).run();
+        assert!(!rt.timed_out, "{label}: chaos run timed out");
+        assert!(rt.panicked.is_empty(), "{label}: panics {:?}", rt.panics);
+        let s = check_rt_agreement(&opts, &rt)
+            .unwrap_or_else(|e| panic!("{label}: SMR oracle under chaos: {e}"));
+        assert_eq!(s.applied, opts.total_ops() as i64, "{label}");
+    }
+}
+
+/// The flagship over the socket transport: the world split across a
+/// parent and two worker runtimes (threads of this process) over a real
+/// Unix-domain socket, replicas on a different runtime than half the
+/// clients — agreement must survive the wire.
+#[test]
+fn kv_over_socket_preserves_smr_agreement() {
+    let opts = KvOpts {
+        clients: 4,
+        ops_per_client: 6,
+        replicas: 3,
+        ..KvOpts::default()
+    };
+    let path = std::env::temp_dir().join(format!("opcsp-kv-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let addr = SockAddr::parse(&format!("uds:{}", path.display())).expect("uds addr");
+    let workers = 2usize;
+
+    let mut handles = Vec::new();
+    for index in 0..workers {
+        let addr = addr.clone();
+        let opts = opts.clone();
+        handles.push(std::thread::spawn(move || {
+            let cfg = RtConfig {
+                transport: opcsp_rt::RtTransport::Socket {
+                    addr,
+                    role: SockRole::Worker { index, workers },
+                },
+                ..rt_cfg(Executor::Threaded, NetFaults::none())
+            };
+            rt_kv_world(&opts, cfg).run()
+        }));
+    }
+    let cfg = RtConfig {
+        transport: opcsp_rt::RtTransport::Socket {
+            addr,
+            role: SockRole::Parent { workers },
+        },
+        ..rt_cfg(Executor::Threaded, NetFaults::none())
+    };
+    let parent = rt_kv_world(&opts, cfg).run();
+    for h in handles {
+        let w = h.join().expect("worker thread");
+        assert!(!w.timed_out, "worker runtime timed out");
+    }
+    assert!(!parent.timed_out, "socket kv run timed out");
+    assert!(parent.panicked.is_empty(), "panics: {:?}", parent.panics);
+    let s = check_rt_agreement(&opts, &parent).expect("SMR oracle over socket");
+    assert_eq!(s.applied, opts.total_ops() as i64);
+}
+
+/// The guess machinery is doing real work in the committed result: a
+/// jittered sim run misguesses (aborts observed) yet commits a store
+/// identical to the pessimistic run of the same schedule-independent
+/// single-client load.
+#[test]
+fn misguesses_never_leak_into_committed_state() {
+    let opts = KvOpts {
+        clients: 3,
+        ops_per_client: 6,
+        replicas: 2,
+        jitter: 40,
+        seed: 3,
+        ..KvOpts::default()
+    };
+    let r = run_replicated_kv(opts.clone());
+    let s = check_sim_agreement(&opts, &r).expect("SMR oracle under jitter");
+    assert!(r.stats().aborts > 0, "jitter should force misguesses");
+    // Every committed read carries a position inside the committed range.
+    let streams = replica_streams(&opts, r.external.iter().map(|(_, p, v)| (*p, v.clone())));
+    for stream in &streams {
+        for g in &stream[..stream.len() - 1] {
+            let pos = g.field("pos").and_then(Value::as_int).unwrap_or(-1);
+            assert!(
+                (0..opts.total_ops() as i64).contains(&pos),
+                "read at impossible position {pos}"
+            );
+        }
+    }
+    assert_eq!(s.applied, opts.total_ops() as i64);
+}
